@@ -1,0 +1,510 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per artifact, as DESIGN.md's experiment index maps out),
+// plus throughput benchmarks for the simulator and the attack pipeline.
+// Custom metrics attach each artifact's headline numbers to the benchmark
+// output, so `go test -bench=. -benchmem` doubles as a results report.
+package leakydnn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"leakydnn/internal/attack"
+	"leakydnn/internal/eval"
+	"leakydnn/internal/gbdt"
+	"leakydnn/internal/gpu"
+	"leakydnn/internal/lstm"
+	"leakydnn/internal/spy"
+	"leakydnn/internal/trace"
+)
+
+// benchScale is the platform scale every artifact benchmark runs at. The
+// tiny scale keeps the full battery under a few minutes; use
+// `cmd/paperbench -scale mid|paper` for larger regenerations.
+func benchScale() eval.Scale { return eval.Tiny() }
+
+var (
+	workbenchOnce sync.Once
+	workbench     *eval.Workbench
+	workbenchErr  error
+)
+
+// sharedWorkbench trains the MoSConS models once for all attack benchmarks.
+func sharedWorkbench(b *testing.B) *eval.Workbench {
+	b.Helper()
+	workbenchOnce.Do(func() {
+		workbench, workbenchErr = eval.NewWorkbench(benchScale())
+	})
+	if workbenchErr != nil {
+		b.Fatal(workbenchErr)
+	}
+	return workbench
+}
+
+// BenchmarkTable1SpyKernels regenerates Table I (spy-kernel selection).
+func BenchmarkTable1SpyKernels(b *testing.B) {
+	sc := benchScale()
+	var conv200Mean float64
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Table1(sc, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Spy == spy.Conv200 {
+				conv200Mean = row.Event1.Mean
+			}
+		}
+	}
+	b.ReportMetric(conv200Mean, "conv200-ev1-mean")
+}
+
+// BenchmarkTable2VictimOps regenerates Table II (victim-op pilot).
+func BenchmarkTable2VictimOps(b *testing.B) {
+	sc := benchScale()
+	var nopOverBusy float64
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Table2(sc, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nop, _ := res.Row("NOP")
+		matmul, _ := res.Row("MatMul")
+		if matmul.Event2.Mean > 0 {
+			nopOverBusy = nop.Event2.Mean / matmul.Event2.Mean
+		}
+	}
+	b.ReportMetric(nopOverBusy, "nop/busy-ratio")
+}
+
+// BenchmarkFig2MPSSampling regenerates Figure 2 (MPS starves the spy).
+func BenchmarkFig2MPSSampling(b *testing.B) {
+	sc := benchScale()
+	sc.Iterations = 4
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		res, err := eval.FigSampling(sc, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = res.MeanPerIteration
+	}
+	b.ReportMetric(mean, "samples/iter")
+}
+
+// BenchmarkFig3TimeSlicedSampling regenerates Figure 3 (time-sliced yields
+// many samples per iteration).
+func BenchmarkFig3TimeSlicedSampling(b *testing.B) {
+	sc := benchScale()
+	sc.Iterations = 4
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		res, err := eval.FigSampling(sc, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = res.MeanPerIteration
+	}
+	b.ReportMetric(mean, "samples/iter")
+}
+
+// BenchmarkTable6IterationSplit regenerates Table VI (Mgap accuracy).
+func BenchmarkTable6IterationSplit(b *testing.B) {
+	w := sharedWorkbench(b)
+	var nop, busy float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		nop, busy = 0, 0
+		for _, row := range res.Rows {
+			nop += row.NOPAcc
+			busy += row.BusyAcc
+		}
+		nop /= float64(len(res.Rows))
+		busy /= float64(len(res.Rows))
+	}
+	b.ReportMetric(nop*100, "nop-acc-%")
+	b.ReportMetric(busy*100, "busy-acc-%")
+}
+
+// BenchmarkTable7OpInference regenerates Table VII (op inference, pre- and
+// post-voting — the voting ablation's two arms).
+func BenchmarkTable7OpInference(b *testing.B) {
+	w := sharedWorkbench(b)
+	var pre, vote float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.Table7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pre, vote = 0, 0
+		for _, row := range res.Rows {
+			pre += row.OverallPre
+			vote += row.OverallVote
+		}
+		pre /= float64(len(res.Rows))
+		vote /= float64(len(res.Rows))
+	}
+	b.ReportMetric(pre*100, "prevote-acc-%")
+	b.ReportMetric(vote*100, "voted-acc-%")
+}
+
+// BenchmarkTable8HyperParams regenerates Table VIII for the two cheapest
+// hyper-parameter kinds (the full five-kind sweep runs via cmd/paperbench).
+func BenchmarkTable8HyperParams(b *testing.B) {
+	sc := benchScale()
+	sc.Iterations = 5
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Table8(sc, []attack.HPKind{attack.HPStride, attack.HPOptimizer})
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = 0
+		for _, row := range res.Rows {
+			acc += row.Accuracy
+		}
+		acc /= float64(len(res.Rows))
+	}
+	b.ReportMetric(acc*100, "hp-acc-%")
+}
+
+// BenchmarkTable9LayerSequence regenerates Table IX (end-to-end recovery).
+func BenchmarkTable9LayerSequence(b *testing.B) {
+	w := sharedWorkbench(b)
+	var layers, hp float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.Table9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		layers, hp = 0, 0
+		for _, row := range res.Rows {
+			layers += row.LayerAcc
+			hp += row.HPAcc
+		}
+		layers /= float64(len(res.Rows))
+		hp /= float64(len(res.Rows))
+	}
+	b.ReportMetric(layers*100, "layer-acc-%")
+	b.ReportMetric(hp*100, "hp-acc-%")
+}
+
+// BenchmarkSlowdownImpact regenerates §V-F (victim/spy slow-down ratios).
+func BenchmarkSlowdownImpact(b *testing.B) {
+	sc := benchScale()
+	var victim, spySlow float64
+	for i := 0; i < b.N; i++ {
+		res, err := eval.SlowdownImpact(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		victim = res.VictimSlowdownAttack
+		spySlow = res.SpySlowdown
+	}
+	b.ReportMetric(victim, "victim-slowdown-x")
+	b.ReportMetric(spySlow, "spy-slowdown-x")
+}
+
+// BenchmarkSlowdownSweep regenerates the §IV parameter search showing the
+// slow-down upper bound.
+func BenchmarkSlowdownSweep(b *testing.B) {
+	sc := benchScale()
+	sc.Iterations = 3
+	var best float64
+	for i := 0; i < b.N; i++ {
+		points, err := eval.SlowdownSweep(sc, []int{1, 8}, []int{32}, []int{256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.VictimSlowdown > best {
+				best = p.VictimSlowdown
+			}
+		}
+	}
+	b.ReportMetric(best, "max-slowdown-x")
+}
+
+// BenchmarkGapSweep regenerates §V-B's batch/image-size robustness sweep.
+func BenchmarkGapSweep(b *testing.B) {
+	w := sharedWorkbench(b)
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.GapSweep([]int{8, 16}, []int{32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = 0
+		for _, row := range res.Rows {
+			acc += row.NOPAcc
+		}
+		acc /= float64(len(res.Rows))
+	}
+	b.ReportMetric(acc*100, "nop-acc-%")
+}
+
+// BenchmarkDefenses regenerates the §VI countermeasure comparison.
+func BenchmarkDefenses(b *testing.B) {
+	w := sharedWorkbench(b)
+	var baseline, hardened float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.EvaluateDefenses(2000, 1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseline = res.Rows[0].LetterAccuracy
+		hardened = res.Rows[len(res.Rows)-1].LetterAccuracy
+	}
+	b.ReportMetric(baseline*100, "undefended-acc-%")
+	b.ReportMetric(hardened*100, "hardened-acc-%")
+}
+
+// BenchmarkAblationSyntax measures the smoothing/syntax-correction stages.
+func BenchmarkAblationSyntax(b *testing.B) {
+	w := sharedWorkbench(b)
+	var raw, full float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.AblationSyntax()
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw, full = 0, 0
+		for _, row := range res.Rows {
+			raw += row.RawLayerAcc
+			full += row.FullLayerAcc
+		}
+		raw /= float64(len(res.Rows))
+		full /= float64(len(res.Rows))
+	}
+	b.ReportMetric(raw*100, "raw-layer-acc-%")
+	b.ReportMetric(full*100, "full-layer-acc-%")
+}
+
+// BenchmarkAblationSlowdown measures the sample-yield gain of the slow-down
+// attack.
+func BenchmarkAblationSlowdown(b *testing.B) {
+	sc := benchScale()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := eval.AblationSlowdown(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = res.Gain
+	}
+	b.ReportMetric(gain, "sample-gain-x")
+}
+
+// BenchmarkAblationWeightedLoss compares Mlong's weighted vs uniform loss.
+func BenchmarkAblationWeightedLoss(b *testing.B) {
+	sc := benchScale()
+	var weighted, uniform float64
+	for i := 0; i < b.N; i++ {
+		res, err := eval.AblationWeightedLoss(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		weighted = res.WeightedAcc
+		uniform = res.UniformAcc
+	}
+	b.ReportMetric(weighted*100, "weighted-acc-%")
+	b.ReportMetric(uniform*100, "uniform-acc-%")
+}
+
+// BenchmarkEngineThroughput measures raw simulator speed: scheduler grants
+// per second under a contended two-context workload.
+func BenchmarkEngineThroughput(b *testing.B) {
+	cfg := gpu.DefaultDeviceConfig()
+	for i := 0; i < b.N; i++ {
+		eng, err := gpu.NewEngine(cfg, rand.New(rand.NewSource(1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		slices := 0
+		eng.OnSlice = func(gpu.SliceRecord) { slices++ }
+		victim := gpu.KernelProfile{Name: "v", Blocks: 64, ThreadsPerBlock: 256,
+			FLOPs: 5e9, ReadBytes: 1 << 24, WriteBytes: 1 << 24, WorkingSetBytes: 1 << 20}
+		eng.AddChannel(1, &gpu.RepeatSource{Kernel: victim})
+		for j := 0; j < 8; j++ {
+			eng.AddChannel(2, &gpu.RepeatSource{Kernel: victim})
+		}
+		eng.Run(2 * gpu.Second)
+		if slices == 0 {
+			b.Fatal("no slices simulated")
+		}
+	}
+}
+
+// BenchmarkTraceCollect measures a full co-run + alignment at tiny scale.
+func BenchmarkTraceCollect(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.Collect(sc.Tested[len(sc.Tested)-1], sc.RunConfig(int64(i), true))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Samples) == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+// BenchmarkExtraction measures one full MoSConS extraction on a collected
+// trace (training excluded).
+func BenchmarkExtraction(b *testing.B) {
+	w := sharedWorkbench(b)
+	samples := w.Tested[len(w.Tested)-1].Samples
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Models.Extract(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBaselineComparison regenerates the §I/§VII framing comparison:
+// the prior MPS attack's single recovered number vs MoSConS's structure.
+func BenchmarkBaselineComparison(b *testing.B) {
+	w := sharedWorkbench(b)
+	var perIter float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.CompareBaseline()
+		if err != nil {
+			b.Fatal(err)
+		}
+		perIter = res.BaselineSamplesPerIter
+	}
+	b.ReportMetric(perIter, "baseline-samples/iter")
+}
+
+// BenchmarkShortcutStudy regenerates the §IV-C shortcut ambiguity study.
+func BenchmarkShortcutStudy(b *testing.B) {
+	w := sharedWorkbench(b)
+	var visible, placed float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.StudyShortcuts()
+		if err != nil {
+			b.Fatal(err)
+		}
+		visible = float64(res.RawShortcuts)
+		placed = float64(res.HeuristicCorrect)
+	}
+	b.ReportMetric(visible, "channel-visible-shortcuts")
+	b.ReportMetric(placed, "heuristic-correct")
+}
+
+// BenchmarkRNNStudy regenerates the §VI limitation-6 study.
+func BenchmarkRNNStudy(b *testing.B) {
+	w := sharedWorkbench(b)
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.StudyRNN()
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = res.LayerAcc
+	}
+	b.ReportMetric(acc*100, "rnn-layer-acc-%")
+}
+
+// BenchmarkMultiTenant regenerates the §VI limitation-5 study.
+func BenchmarkMultiTenant(b *testing.B) {
+	w := sharedWorkbench(b)
+	var two, four float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := w.MultiTenant()
+		if err != nil {
+			b.Fatal(err)
+		}
+		two, four = res.TwoTenantAcc, res.FourTenantAcc
+	}
+	b.ReportMetric(two*100, "two-tenant-acc-%")
+	b.ReportMetric(four*100, "four-tenant-acc-%")
+}
+
+// BenchmarkAblationCounterGroups regenerates the §IV counter-selection
+// ablation.
+func BenchmarkAblationCounterGroups(b *testing.B) {
+	sc := benchScale()
+	var full, one float64
+	for i := 0; i < b.N; i++ {
+		res, err := eval.AblationCounterGroups(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		full, one = res.FullAcc, res.OneGroupAcc
+	}
+	b.ReportMetric(full*100, "all-groups-acc-%")
+	b.ReportMetric(one*100, "one-group-acc-%")
+}
+
+// BenchmarkLSTMTraining measures the inference-model substrate's training
+// throughput (sequences x epochs per op).
+func BenchmarkLSTMTraining(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var seqs []lstm.Sequence
+	for i := 0; i < 6; i++ {
+		in := make([][]float64, 40)
+		labels := make([]int, 40)
+		for t := range in {
+			v := make([]float64, attack.FeatureDim)
+			for j := range v {
+				v[j] = rng.Float64()
+			}
+			in[t] = v
+			labels[t] = rng.Intn(4)
+		}
+		seqs = append(seqs, lstm.Sequence{Inputs: in, Labels: labels})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := lstm.New(lstm.Config{
+			InputDim: attack.FeatureDim, Hidden: 40, Classes: 4, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.Train(seqs, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGBDTTraining measures the Mgap substrate's training throughput.
+func BenchmarkGBDTTraining(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 500; i++ {
+		row := make([]float64, attack.FeatureDim)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x = append(x, row)
+		if row[0]+row[3] > 1 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gbdt.Train(x, y, gbdt.Config{Rounds: 30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Command gpuprof runs a victim model alone on the simulated GPU with the
+// TensorFlow-style timeline profiler enabled, printing per-op statistics and
+// optionally writing the Chrome-tracing JSON TensorFlow's timeline module
+// would produce (load it at chrome://tracing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/gpu"
+	"leakydnn/internal/tfsim"
+	"leakydnn/internal/zoo"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gpuprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modelName  = flag.String("model", "vgg16", "victim model: vgg16, zfnet, alexnet, cust-vgg19, cust-mlp, tiny-cnn, tiny-vgg, tiny-mlp")
+		iterations = flag.Int("iterations", 2, "training iterations to profile")
+		side       = flag.Int("side", 0, "override input side (0 keeps the model's default)")
+		batch      = flag.Int("batch", 0, "override batch size (0 keeps the model's default)")
+		traceOut   = flag.String("trace", "", "write Chrome-tracing JSON to this file")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	model, err := lookupModel(*modelName)
+	if err != nil {
+		return err
+	}
+	if *side > 0 || *batch > 0 {
+		s, b := model.Input.H, model.Batch
+		if *side > 0 {
+			s = *side
+		}
+		if *batch > 0 {
+			b = *batch
+		}
+		model = zoo.Scale(model, s, b)
+	}
+
+	dev := gpu.DefaultDeviceConfig()
+	sess, err := tfsim.NewSession(model, tfsim.DefaultConfig(*iterations), dev)
+	if err != nil {
+		return err
+	}
+	eng, err := gpu.NewEngine(dev, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	tl := &tfsim.Timeline{}
+	eng.OnKernelEnd = tl.Observe
+	eng.AddChannel(1, sess.Source())
+	horizon := (sess.IterationDuration() + 10*gpu.Millisecond) * gpu.Nanos(*iterations) * 4
+	eng.Run(horizon)
+
+	fmt.Printf("model %s: %d layers, %d ops/iteration, iteration %v\n",
+		model.Name, len(model.Layers), sess.OpsPerIteration(), sess.IterationDuration())
+	fmt.Printf("op signature: %s\n\n", dnn.OpSignature(sess.Ops()))
+
+	type opStat struct {
+		name  string
+		total gpu.Nanos
+		count int
+	}
+	stats := make(map[string]*opStat)
+	for _, e := range tl.Events() {
+		st := stats[e.Name]
+		if st == nil {
+			st = &opStat{name: e.Name}
+			stats[e.Name] = st
+		}
+		st.total += e.End - e.Start
+		st.count++
+	}
+	rows := make([]*opStat, 0, len(stats))
+	for _, st := range stats {
+		rows = append(rows, st)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
+	fmt.Printf("%-24s %10s %8s %14s\n", "op", "count", "share", "total")
+	var grand gpu.Nanos
+	for _, st := range rows {
+		grand += st.total
+	}
+	for _, st := range rows {
+		fmt.Printf("%-24s %10d %7.1f%% %14v\n", st.name, st.count,
+			100*float64(st.total)/float64(grand), st.total)
+	}
+
+	if *traceOut != "" {
+		raw, err := tl.MarshalChromeTrace()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*traceOut, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nChrome trace written to %s (open chrome://tracing)\n", *traceOut)
+	}
+	return nil
+}
+
+func lookupModel(name string) (dnn.Model, error) {
+	all := append(zoo.ProfiledModels(), zoo.TestedModels()...)
+	all = append(all, zoo.TinyMLP(), zoo.TinyCNN(), zoo.TinyVGG(), zoo.TinyResNet(), zoo.TinyRNN())
+	all = append(all, zoo.TinyProfiledModels()...)
+	all = append(all, zoo.TinyTestedModels()...)
+	for _, m := range all {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	var names []string
+	for _, m := range all {
+		names = append(names, m.Name)
+	}
+	return dnn.Model{}, fmt.Errorf("unknown model %q (available: %v)", name, names)
+}

@@ -1,0 +1,144 @@
+// Command mosconsim runs the complete MoSConS attack end to end: profile the
+// adversary's models, train every inference model, co-run the spy against a
+// chosen victim's training, and print the recovered structure with its
+// accuracy against ground truth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"leakydnn/internal/attack"
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/eval"
+	"leakydnn/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mosconsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scaleName = flag.String("scale", "tiny", "experiment scale: tiny, mid, paper")
+		victimIdx = flag.Int("victim", -1, "tested-model index to attack (-1 = all)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		verbose   = flag.Bool("v", false, "print per-sample letters")
+		saveFile  = flag.String("save", "", "save the trained model set to this file")
+		loadFile  = flag.String("load", "", "load a previously saved model set instead of training")
+	)
+	flag.Parse()
+
+	sc, err := scaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	sc.Seed = *seed
+
+	fmt.Printf("== MoSConS end-to-end (%s scale) ==\n", sc.Name)
+
+	var models *attack.Models
+	var tested []*trace.Trace
+	if *loadFile != "" {
+		f, err := os.Open(*loadFile)
+		if err != nil {
+			return err
+		}
+		models, err = attack.LoadModels(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded trained models from %s\n", *loadFile)
+		tested, err = sc.CollectTraces(sc.Tested, sc.Seed+900)
+		if err != nil {
+			return err
+		}
+	} else {
+		fmt.Println("collecting profiling traces and training inference models ...")
+		w, err := eval.NewWorkbench(sc)
+		if err != nil {
+			return err
+		}
+		models = w.Models
+		tested = w.Tested
+	}
+	fmt.Printf("training report: %v\n\n", models.Report)
+
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			return err
+		}
+		if err := models.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trained models saved to %s\n\n", *saveFile)
+	}
+
+	targets := tested
+	if *victimIdx >= 0 {
+		if *victimIdx >= len(tested) {
+			return fmt.Errorf("victim index %d out of range [0,%d)", *victimIdx, len(tested))
+		}
+		targets = tested[*victimIdx : *victimIdx+1]
+	}
+	for _, tr := range targets {
+		if err := attackOne(models, tr, *verbose); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func attackOne(models *attack.Models, tr *trace.Trace, verbose bool) error {
+	fmt.Printf("---- victim %s (%d samples) ----\n", tr.Model.Name, len(tr.Samples))
+	rec, err := models.Extract(tr.Samples)
+	if err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Printf("letters: %s\n", rec.Letters)
+	}
+	fmt.Printf("iterations: %d detected, %d clean\n", len(rec.Split.All), len(rec.Split.Valid))
+	fmt.Printf("op sequence: %s\n", rec.OpSeq)
+	fmt.Printf("optimizer:   %v (true %v)\n", rec.Optimizer, tr.Model.Optimizer)
+	fmt.Println("layers:")
+	for i, l := range rec.Layers {
+		switch l.Kind {
+		case dnn.LayerConv:
+			fmt.Printf("  %2d: Conv  filter=%dx%d count=%d stride=%d act=%v\n",
+				i, l.FilterSize, l.FilterSize, l.NumFilters, l.Stride, l.Act)
+		case dnn.LayerFC:
+			fmt.Printf("  %2d: FC    neurons=%d act=%v\n", i, l.Neurons, l.Act)
+		case dnn.LayerMaxPool:
+			fmt.Printf("  %2d: MaxPool\n", i)
+		}
+	}
+	layerAcc, hpAcc := attack.LayerAccuracy(rec.Layers, tr.Model)
+	truth := attack.LetterTruth(tr.Labels(), rec.Base)
+	_, letterAcc := attack.LetterAccuracy(rec.Letters, truth)
+	fmt.Printf("accuracy: ops %.1f%%, layers %.1f%%, hyper-parameters %.1f%%\n\n",
+		letterAcc*100, layerAcc*100, hpAcc*100)
+	return nil
+}
+
+func scaleByName(name string) (eval.Scale, error) {
+	switch name {
+	case "tiny":
+		return eval.Tiny(), nil
+	case "mid":
+		return eval.Mid(), nil
+	case "paper":
+		return eval.Paper(), nil
+	}
+	return eval.Scale{}, fmt.Errorf("unknown scale %q (tiny, mid, paper)", name)
+}

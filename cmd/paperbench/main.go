@@ -1,0 +1,246 @@
+// Command paperbench regenerates the paper's tables and figures from the
+// simulator: every experiment of the evaluation section plus the ablations
+// DESIGN.md calls out. Select an experiment with -exp and a platform scale
+// with -scale; "all" runs the complete battery and prints each artifact in
+// the paper's layout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"leakydnn/internal/eval"
+)
+
+var experiments = []string{
+	"table1", "table2", "fig2", "fig3", "table6", "gapsweep",
+	"table7", "table8", "table9", "slowdown", "sweep", "defense",
+	"baseline", "shortcut", "rnn", "multitenant", "ablations",
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expName   = flag.String("exp", "all", "experiment: all, "+strings.Join(experiments, ", "))
+		scaleName = flag.String("scale", "tiny", "platform scale: tiny, mid, paper")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		samples   = flag.Int("samples", 60, "samples per pilot-table cell")
+	)
+	flag.Parse()
+
+	sc, err := scaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	sc.Seed = *seed
+
+	selected := experiments
+	if *expName != "all" {
+		selected = strings.Split(*expName, ",")
+	}
+
+	// The workbench (one training run) backs several experiments; build it
+	// lazily only when one of them is requested.
+	var w *eval.Workbench
+	bench := func() (*eval.Workbench, error) {
+		if w != nil {
+			return w, nil
+		}
+		fmt.Println("[training MoSConS models — shared across experiments]")
+		var err error
+		w, err = eval.NewWorkbench(sc)
+		return w, err
+	}
+
+	for _, name := range selected {
+		fmt.Printf("\n===== %s (%s scale) =====\n", name, sc.Name)
+		switch strings.TrimSpace(name) {
+		case "table1":
+			res, err := eval.Table1(sc, *samples)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		case "table2":
+			res, err := eval.Table2(sc, *samples)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		case "fig2":
+			res, err := eval.FigSampling(sc, true)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		case "fig3":
+			res, err := eval.FigSampling(sc, false)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		case "table6":
+			wb, err := bench()
+			if err != nil {
+				return err
+			}
+			res, err := wb.Table6()
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		case "gapsweep":
+			wb, err := bench()
+			if err != nil {
+				return err
+			}
+			res, err := wb.GapSweep([]int{8, 16, 32}, []int{32})
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		case "table7":
+			wb, err := bench()
+			if err != nil {
+				return err
+			}
+			res, err := wb.Table7()
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		case "table8":
+			res, err := eval.Table8(sc, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		case "table9":
+			wb, err := bench()
+			if err != nil {
+				return err
+			}
+			res, err := wb.Table9()
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		case "slowdown":
+			res, err := eval.SlowdownImpact(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		case "sweep":
+			points, err := eval.SlowdownSweep(sc, []int{1, 2, 4, 8, 16}, []int{8, 32}, []int{256})
+			if err != nil {
+				return err
+			}
+			fmt.Print(eval.RenderSweep(points))
+		case "baseline":
+			wb, err := bench()
+			if err != nil {
+				return err
+			}
+			res, err := wb.CompareBaseline()
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		case "shortcut":
+			wb, err := bench()
+			if err != nil {
+				return err
+			}
+			res, err := wb.StudyShortcuts()
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		case "rnn":
+			wb, err := bench()
+			if err != nil {
+				return err
+			}
+			res, err := wb.StudyRNN()
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		case "multitenant":
+			wb, err := bench()
+			if err != nil {
+				return err
+			}
+			res, err := wb.MultiTenant()
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		case "defense":
+			wb, err := bench()
+			if err != nil {
+				return err
+			}
+			res, err := wb.EvaluateDefenses(2000, 1.0)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		case "ablations":
+			wb, err := bench()
+			if err != nil {
+				return err
+			}
+			voting, err := wb.AblationVoting()
+			if err != nil {
+				return err
+			}
+			fmt.Print(voting.Render())
+			syntax, err := wb.AblationSyntax()
+			if err != nil {
+				return err
+			}
+			fmt.Print(syntax.Render())
+			sd, err := eval.AblationSlowdown(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Print(sd.Render())
+			wl, err := eval.AblationWeightedLoss(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Print(wl.Render())
+			cg, err := eval.AblationCounterGroups(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Print(cg.Render())
+		default:
+			return fmt.Errorf("unknown experiment %q (available: all, %s)",
+				name, strings.Join(experiments, ", "))
+		}
+	}
+	return nil
+}
+
+func scaleByName(name string) (eval.Scale, error) {
+	switch name {
+	case "tiny":
+		return eval.Tiny(), nil
+	case "mid":
+		return eval.Mid(), nil
+	case "paper":
+		return eval.Paper(), nil
+	}
+	return eval.Scale{}, fmt.Errorf("unknown scale %q (tiny, mid, paper)", name)
+}

@@ -1,0 +1,56 @@
+// Command defense evaluates the paper's §VI countermeasures against a
+// trained MoSConS attack: quantizing the CUPTI counters, injecting noise
+// into them, and hardening the time-sliced scheduler (boosted slices for
+// the protected context plus a channel cap that disarms the slow-down
+// attack). It prints how much op-inference accuracy each defense removes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"leakydnn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sc := leakydnn.TinyScale()
+	fmt.Println("== §VI defenses vs a trained MoSConS attack ==")
+	fmt.Println("training the attack ...")
+	w, err := leakydnn.NewWorkbench(sc)
+	if err != nil {
+		return err
+	}
+
+	res, err := w.EvaluateDefenses(2000 /* counter quantization step */, 1.0 /* noise frac */)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(res.Render())
+
+	fmt.Println("\nsweeping quantization strength:")
+	victim := w.Tested[len(w.Tested)-1]
+	for _, step := range []float64{10, 100, 1000, 5000, 20000} {
+		quantized, err := leakydnn.QuantizeCounters(victim.Samples, step)
+		if err != nil {
+			return err
+		}
+		rec, err := w.Models.Extract(quantized)
+		if err != nil {
+			fmt.Printf("  step %7.0f: extraction failed (%v)\n", step, err)
+			continue
+		}
+		layerAcc, _ := leakydnn.LayerAccuracy(rec.Layers, victim.Model)
+		fmt.Printf("  step %7.0f: recovered opseq %-24s layer accuracy %.0f%%\n",
+			step, rec.OpSeq, layerAcc*100)
+	}
+	fmt.Println("\ncoarser counters leak less: beyond the op-signature scale the")
+	fmt.Println("attack collapses, at the cost of a less useful profiler (§VI).")
+	return nil
+}

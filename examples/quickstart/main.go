@@ -1,0 +1,70 @@
+// Command quickstart is the smallest end-to-end run of the MoSConS
+// reproduction: profile the adversary's models, train the inference
+// pipeline, attack a victim's training run, and print the recovered op
+// sequence next to the ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"leakydnn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The tiny scale shrinks the simulated platform and the model zoo in
+	// lockstep so this demo finishes in seconds.
+	sc := leakydnn.TinyScale()
+
+	fmt.Println("== MoSConS quickstart ==")
+	fmt.Printf("platform: %d SMs, %.1f GB/s DRAM, %v time slices\n",
+		sc.Device.NumSMs, sc.Device.DRAMBytesPerNs, sc.Device.SliceQuantum)
+
+	// Step 0 (§II-D): the spy needs CUPTI. On a patched driver access is
+	// denied until the adversary downgrades — root in her own VM suffices.
+	drv, err := leakydnn.NewDriver(leakydnn.PatchedDriverVersion)
+	if err != nil {
+		return err
+	}
+	if err := drv.CheckAccess(); err != nil {
+		fmt.Printf("CUPTI blocked by driver %s: %v\n", drv.Version(), err)
+		if err := drv.Downgrade(leakydnn.UnpatchedDriverVersion); err != nil {
+			return err
+		}
+		fmt.Printf("downgraded to %s; CUPTI access: %v\n", drv.Version(), drv.CheckAccess() == nil)
+	}
+
+	// Steps 1-2: profile the adversary's own models and train every
+	// inference model (Mgap, Mlong/Vlong, Mop/Vop, Mhp).
+	fmt.Println("\nprofiling adversary models and training MoSConS ...")
+	w, err := leakydnn.NewWorkbench(sc)
+	if err != nil {
+		return err
+	}
+
+	// Step 3: attack a victim training run.
+	victim := w.Tested[len(w.Tested)-1]
+	fmt.Printf("\nattacking victim %q (%d CUPTI samples collected)\n",
+		victim.Model.Name, len(victim.Samples))
+	rec, err := w.Models.Extract(victim.Samples)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nrecovered op sequence: %s\n", rec.OpSeq)
+	fmt.Printf("recovered optimizer:   %v (true: %v)\n", rec.Optimizer, victim.Model.Optimizer)
+	fmt.Println("recovered layers:")
+	for i, l := range rec.Layers {
+		fmt.Printf("  %2d: %+v\n", i, l)
+	}
+	layerAcc, hpAcc := leakydnn.LayerAccuracy(rec.Layers, victim.Model)
+	fmt.Printf("\nlayer accuracy %.1f%%, hyper-parameter accuracy %.1f%%\n",
+		layerAcc*100, hpAcc*100)
+	return nil
+}

@@ -1,0 +1,3 @@
+module leakydnn
+
+go 1.22

@@ -1,0 +1,258 @@
+package attack
+
+import "leakydnn/internal/dnn"
+
+// CollapsedOp is one op after collapsing consecutive identical per-sample
+// letters (§IV-B "Collapsing ops"). FirstIdx/LastIdx are base-iteration
+// sample indices; LastIdx is where Mhp's layer label lives.
+type CollapsedOp struct {
+	Letter   byte
+	FirstIdx int
+	LastIdx  int
+}
+
+// collapseOps drops NOP letters and merges consecutive identical letters.
+func collapseOps(letters []byte) []CollapsedOp {
+	var out []CollapsedOp
+	for i, l := range letters {
+		if l == 'N' {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1].Letter == l && out[len(out)-1].LastIdx == prevBusy(letters, i) {
+			out[len(out)-1].LastIdx = i
+			continue
+		}
+		out = append(out, CollapsedOp{Letter: l, FirstIdx: i, LastIdx: i})
+	}
+	return out
+}
+
+// prevBusy returns the index of the last non-NOP letter before i (or -1).
+func prevBusy(letters []byte, i int) int {
+	for j := i - 1; j >= 0; j-- {
+		if letters[j] != 'N' {
+			return j
+		}
+	}
+	return -1
+}
+
+// smoothOps applies the first syntax correction: a single-sample conv or
+// MatMul run sandwiched between two runs of the same other letter is a
+// misclassification — a real conv/FC op spans multiple samples and cannot
+// interrupt another op mid-run.
+func smoothOps(ops []CollapsedOp) []CollapsedOp {
+	var out []CollapsedOp
+	for i, op := range ops {
+		if (op.Letter == 'C' || op.Letter == 'M') &&
+			op.LastIdx == op.FirstIdx &&
+			i > 0 && i+1 < len(ops) &&
+			ops[i-1].Letter == ops[i+1].Letter &&
+			ops[i-1].Letter != op.Letter {
+			continue // absorbed
+		}
+		if len(out) > 0 && out[len(out)-1].Letter == op.Letter {
+			out[len(out)-1].LastIdx = op.LastIdx
+			continue
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// OpSeqString renders collapsed ops as the letter string of Table IX.
+func OpSeqString(ops []CollapsedOp) string {
+	b := make([]byte, len(ops))
+	for i, op := range ops {
+		b[i] = op.Letter
+	}
+	return string(b)
+}
+
+// RecoveredLayer is one layer of the reconstructed victim model.
+type RecoveredLayer struct {
+	Kind       dnn.LayerKind
+	FilterSize int
+	NumFilters int
+	Stride     int
+	Neurons    int
+	Act        dnn.Activation
+	// ShortcutFrom is filled by ApplyResNetHeuristic only: the side channel
+	// itself cannot place shortcuts (§IV-C).
+	ShortcutFrom int
+	// LastSample is the base-iteration sample index of the layer's defining
+	// op's last sample (where the hyper-parameter prediction is read).
+	LastSample int
+}
+
+// parseNoiseBudget is how many unparsable tokens deriveLayers may skip as
+// misclassification noise before concluding the forward pass has ended.
+const parseNoiseBudget = 2
+
+// deriveLayers parses the forward-pass prefix of the collapsed op sequence
+// into layers: conv → BiasAdd → activation, MatMul → BiasAdd → activation,
+// and pooling ops. Up to parseNoiseBudget unparsable tokens are skipped as
+// residual misclassifications; parsing stops for good at the fwd/bwd mirror
+// point — a repetition of the last layer's activation, which is how the
+// back-propagation pass always opens — or when the noise budget runs out.
+func deriveLayers(ops []CollapsedOp) []RecoveredLayer {
+	var layers []RecoveredLayer
+	skips := 0
+	i := 0
+
+	// The iteration is forward + mirrored backward + optimizer updates, so
+	// the forward pass spans roughly the first 40% of the pre-optimizer
+	// sequence. Boundary-looking tokens well before that point are residual
+	// misclassifications, not the fwd/bwd mirror.
+	preOpt := len(ops)
+	for j, op := range ops {
+		if op.Letter == 'O' {
+			preOpt = j
+			break
+		}
+	}
+	noiseRegion := preOpt * 35 / 100
+
+	for i < len(ops) {
+		// Mirror detection first: the backward pass opens by re-running the
+		// last layer's activation (its gradient op carries the same letter).
+		if len(layers) > 0 && i >= noiseRegion {
+			last := layers[len(layers)-1]
+			if last.Act != dnn.ActNone && actOf(ops[i].Letter) == last.Act {
+				return layers
+			}
+		}
+		switch ops[i].Letter {
+		case 'C', 'M':
+			layer := RecoveredLayer{LastSample: ops[i].LastIdx}
+			if ops[i].Letter == 'C' {
+				layer.Kind = dnn.LayerConv
+			} else {
+				layer.Kind = dnn.LayerFC
+			}
+			i++
+			if i < len(ops) && ops[i].Letter == 'B' {
+				i++
+			}
+			if i < len(ops) {
+				if act := actOf(ops[i].Letter); act != dnn.ActNone {
+					layer.Act = act
+					i++
+				}
+			}
+			layers = append(layers, layer)
+		case 'P':
+			if len(layers) == 0 {
+				// Pooling cannot open a model; treat as boundary noise.
+				return layers
+			}
+			layers = append(layers, RecoveredLayer{Kind: dnn.LayerMaxPool, LastSample: ops[i].LastIdx})
+			i++
+		case 'B', 'O':
+			// In a forward pass BiasAdd only ever follows conv/MatMul, and
+			// optimizer updates only run after back-propagation. A bare 'B'
+			// here is the back-propagation pass opening (collapsing merges
+			// the mirrored activation into the forward one, so the first
+			// distinct backward token is BiasAddGrad); 'O' is the update
+			// phase. Either way the forward structure is complete — unless
+			// we are still deep inside the forward region, where it must be
+			// noise.
+			if i >= noiseRegion {
+				return layers
+			}
+			skips++
+			if skips > parseNoiseBudget {
+				return layers
+			}
+			i++
+		default:
+			// A bare activation is a residual misclassification: skip it,
+			// within budget.
+			skips++
+			if skips > parseNoiseBudget {
+				return layers
+			}
+			i++
+		}
+	}
+	return layers
+}
+
+func actOf(letter byte) dnn.Activation {
+	switch letter {
+	case 'R':
+		return dnn.ActReLU
+	case 'T':
+		return dnn.ActTanh
+	case 'S':
+		return dnn.ActSigmoid
+	}
+	return dnn.ActNone
+}
+
+// applySyntaxCorrections post-processes the recovered layers with the
+// DNN-syntax heuristics of §IV-D: layers missing an activation inherit the
+// model's majority activation, and conv layers inherit the majority stride
+// when theirs was never predicted.
+func applySyntaxCorrections(layers []RecoveredLayer) []RecoveredLayer {
+	counts := make(map[dnn.Activation]int)
+	for _, l := range layers {
+		if l.Act != dnn.ActNone {
+			counts[l.Act]++
+		}
+	}
+	var majority dnn.Activation
+	best := 0
+	for act, n := range counts {
+		if n > best {
+			majority, best = act, n
+		}
+	}
+	for i := range layers {
+		if layers[i].Kind == dnn.LayerMaxPool {
+			continue
+		}
+		if layers[i].Act == dnn.ActNone && majority != dnn.ActNone {
+			layers[i].Act = majority
+		}
+		if layers[i].Kind == dnn.LayerConv && layers[i].Stride == 0 {
+			layers[i].Stride = 1
+		}
+	}
+	return layers
+}
+
+// ApplyResNetHeuristic implements the paper's §IV-C domain-knowledge
+// correction for shortcut connections: the side channel cannot show where a
+// shortcut attaches (its add op is indistinguishable from a BiasAdd), but
+// "if the layer structure is similar to ResNet, the shortcut is likely to
+// bypass every 2 convolutional layers". Runs of same-width convolutions get
+// a ShortcutFrom=2 on every second member.
+func ApplyResNetHeuristic(layers []RecoveredLayer) []RecoveredLayer {
+	out := append([]RecoveredLayer(nil), layers...)
+	runStart := -1
+	inRun := 0
+	for i := 0; i <= len(out); i++ {
+		extendsRun := i < len(out) &&
+			out[i].Kind == dnn.LayerConv &&
+			(inRun == 0 || out[i].NumFilters == out[runStart].NumFilters)
+		if extendsRun {
+			if inRun == 0 {
+				runStart = i
+			}
+			inRun++
+			// Every second conv of a same-width run closes a block.
+			if inRun%2 == 0 {
+				out[i].ShortcutFrom = 2
+			}
+			continue
+		}
+		runStart = -1
+		inRun = 0
+		if i < len(out) && out[i].Kind == dnn.LayerConv {
+			runStart = i
+			inRun = 1
+		}
+	}
+	return out
+}

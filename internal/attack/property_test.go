@@ -1,0 +1,186 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/trace"
+)
+
+// letterAlphabet is everything the letter-merge stage can emit.
+var letterAlphabet = []byte("CMBRTSPON")
+
+func randomLetters(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = letterAlphabet[rng.Intn(len(letterAlphabet))]
+	}
+	return out
+}
+
+// Property: the collapse/smooth/derive pipeline never panics and always
+// produces bounded, well-formed output on arbitrary letter streams — the
+// attack must survive any garbage its classifiers emit.
+func TestParserRobustOnArbitraryLetters(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 500; trial++ {
+		letters := randomLetters(rng, rng.Intn(200))
+		ops := smoothOps(collapseOps(letters))
+		if len(ops) > len(letters) {
+			t.Fatalf("collapse grew the sequence: %d -> %d", len(letters), len(ops))
+		}
+		for i, op := range ops {
+			if op.Letter == 'N' {
+				t.Fatalf("trial %d: NOP survived collapsing at op %d", trial, i)
+			}
+			if i > 0 && ops[i-1].Letter == op.Letter {
+				t.Fatalf("trial %d: consecutive identical letters at %d", trial, i)
+			}
+			if op.FirstIdx > op.LastIdx || op.LastIdx >= len(letters) {
+				t.Fatalf("trial %d: op %d has bad indices [%d,%d]", trial, i, op.FirstIdx, op.LastIdx)
+			}
+		}
+		layers := applySyntaxCorrections(deriveLayers(ops))
+		if len(layers) > len(ops) {
+			t.Fatalf("trial %d: derived more layers (%d) than ops (%d)", trial, len(layers), len(ops))
+		}
+		for _, l := range layers {
+			switch l.Kind {
+			case dnn.LayerConv, dnn.LayerFC, dnn.LayerMaxPool:
+			default:
+				t.Fatalf("trial %d: layer with invalid kind %v", trial, l.Kind)
+			}
+		}
+		heur := ApplyResNetHeuristic(layers)
+		if len(heur) != len(layers) {
+			t.Fatalf("trial %d: heuristic changed layer count", trial)
+		}
+	}
+}
+
+// Property: collapsing is idempotent — collapsing an already-collapsed
+// sequence's letters changes nothing.
+func TestCollapseIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 200; trial++ {
+		letters := randomLetters(rng, rng.Intn(120))
+		once := collapseOps(letters)
+		onceLetters := []byte(OpSeqString(once))
+		twice := collapseOps(onceLetters)
+		if OpSeqString(twice) != OpSeqString(once) {
+			t.Fatalf("trial %d: collapse not idempotent: %s vs %s",
+				trial, OpSeqString(once), OpSeqString(twice))
+		}
+	}
+}
+
+// Property: a model's ground-truth signature always parses back to at least
+// its forward layers when fed noiselessly (with per-letter expansion to
+// multi-sample runs). This ties the compiler and the parser together.
+func TestParserRecoversCleanSignatures(t *testing.T) {
+	models := []dnn.Model{
+		{
+			Name: "p1", Input: dnn.Shape{H: 16, W: 16, C: 3}, Batch: 4,
+			Layers: []dnn.Layer{
+				dnn.Conv(3, 8, 1, dnn.ActReLU),
+				dnn.MaxPool(),
+				dnn.FC(16, dnn.ActSigmoid),
+			},
+			Optimizer: dnn.OptimizerGD,
+		},
+		{
+			Name: "p2", Input: dnn.Shape{H: 16, W: 16, C: 3}, Batch: 4,
+			Layers: []dnn.Layer{
+				dnn.FC(16, dnn.ActReLU),
+				dnn.FC(8, dnn.ActTanh),
+				dnn.FC(4, dnn.ActSigmoid),
+			},
+			Optimizer: dnn.OptimizerAdam,
+		},
+		{
+			Name: "p3", Input: dnn.Shape{H: 32, W: 32, C: 3}, Batch: 4,
+			Layers: []dnn.Layer{
+				dnn.Conv(5, 8, 2, dnn.ActReLU),
+				dnn.Conv(3, 16, 1, dnn.ActReLU),
+				dnn.MaxPool(),
+				dnn.FC(32, dnn.ActReLU),
+			},
+			Optimizer: dnn.OptimizerAdagrad,
+		},
+	}
+	for _, m := range models {
+		ops, err := dnn.Compile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := []byte(dnn.OpSignature(ops))
+		layers := deriveLayers(collapseOps(sig))
+		if len(layers) != len(m.Layers) {
+			t.Errorf("%s: parsed %d layers from clean signature %s, want %d",
+				m.Name, len(layers), sig, len(m.Layers))
+			continue
+		}
+		for i, l := range layers {
+			if l.Kind != m.Layers[i].Kind {
+				t.Errorf("%s layer %d: kind %v, want %v", m.Name, i, l.Kind, m.Layers[i].Kind)
+			}
+			if m.Layers[i].Kind != dnn.LayerMaxPool && l.Act != m.Layers[i].Act {
+				t.Errorf("%s layer %d: act %v, want %v", m.Name, i, l.Act, m.Layers[i].Act)
+			}
+		}
+	}
+}
+
+// Property: LetterAccuracy is 1 on identical strings and symmetric-bounded.
+func TestLetterAccuracyProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%60 + 1
+		a := randomLetters(rng, n)
+		_, self := LetterAccuracy(a, a)
+		if self != 1 {
+			return false
+		}
+		b := randomLetters(rng, n)
+		_, ab := LetterAccuracy(a, b)
+		return ab >= 0 && ab <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GapAccuracy counts partition the sample set.
+func TestGapAccuracyPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(100) + 1
+		pred := make([]bool, n)
+		truth := make([]bool, n)
+		for i := range pred {
+			pred[i] = rng.Intn(2) == 0
+			truth[i] = rng.Intn(2) == 0
+		}
+		// Build trace labels matching truth.
+		tl := makeLabels(truth)
+		_, _, nopN, busyN := GapAccuracy(pred, tl)
+		if nopN+busyN != n {
+			t.Fatalf("trial %d: counts %d+%d != %d", trial, nopN, busyN, n)
+		}
+	}
+}
+
+// makeLabels builds trace labels with the given NOP pattern.
+func makeLabels(isNOP []bool) []trace.Label {
+	out := make([]trace.Label, len(isNOP))
+	for i, nop := range isNOP {
+		if nop {
+			out[i] = trace.Label{IsNOP: true, Letter: 'N', Iteration: -1}
+		} else {
+			out[i] = trace.Label{Kind: dnn.OpReLU, Long: dnn.LongOther, Letter: 'R'}
+		}
+	}
+	return out
+}

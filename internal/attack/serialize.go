@@ -1,0 +1,153 @@
+package attack
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"leakydnn/internal/gbdt"
+	"leakydnn/internal/lstm"
+)
+
+// modelsSnapshot is the gob-serializable form of a trained model set: the
+// neural networks and the GBDT are nested as their own encodings.
+type modelsSnapshot struct {
+	Cfg          Config
+	ScalerMin    []float64
+	ScalerMax    []float64
+	Gap          []byte
+	Long         []byte
+	VLong        []byte
+	Op           []byte
+	VOp          []byte
+	HP           [NumHPKinds][]byte
+	HPVocab      [NumHPKinds][]int
+	MajorityLong bool
+	MajorityOp   bool
+	Report       map[string]float64
+}
+
+// Save writes the trained model set to w, so an adversary can profile once
+// and attack many victims across sessions.
+func (m *Models) Save(w io.Writer) error {
+	snap := modelsSnapshot{
+		Cfg:          m.Cfg,
+		HPVocab:      m.HPVocab,
+		MajorityLong: m.majorityLong,
+		MajorityOp:   m.majorityOp,
+		Report:       m.Report,
+	}
+	if m.Scaler != nil {
+		snap.ScalerMin = m.Scaler.Min
+		snap.ScalerMax = m.Scaler.Max
+	}
+	var err error
+	if snap.Gap, err = encodeGBDT(m.Gap); err != nil {
+		return fmt.Errorf("attack: save Mgap: %w", err)
+	}
+	nets := []struct {
+		name string
+		net  *lstm.Network
+		dst  *[]byte
+	}{
+		{"Mlong", m.Long, &snap.Long},
+		{"Vlong", m.VLong, &snap.VLong},
+		{"Mop", m.Op, &snap.Op},
+		{"Vop", m.VOp, &snap.VOp},
+	}
+	for _, n := range nets {
+		blob, err := encodeLSTM(n.net)
+		if err != nil {
+			return fmt.Errorf("attack: save %s: %w", n.name, err)
+		}
+		*n.dst = blob
+	}
+	for kind := HPKind(0); kind < NumHPKinds; kind++ {
+		blob, err := encodeLSTM(m.HP[kind])
+		if err != nil {
+			return fmt.Errorf("attack: save Mhp[%s]: %w", kind, err)
+		}
+		snap.HP[kind] = blob
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("attack: save: %w", err)
+	}
+	return nil
+}
+
+// LoadModels reads a model set previously written by Save.
+func LoadModels(r io.Reader) (*Models, error) {
+	var snap modelsSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("attack: load: %w", err)
+	}
+	m := &Models{
+		Cfg:          snap.Cfg,
+		HPVocab:      snap.HPVocab,
+		majorityLong: snap.MajorityLong,
+		majorityOp:   snap.MajorityOp,
+		Report:       snap.Report,
+	}
+	if snap.ScalerMin != nil {
+		m.Scaler = &gbdt.MinMaxScaler{Min: snap.ScalerMin, Max: snap.ScalerMax}
+	}
+	var err error
+	if m.Gap, err = decodeGBDT(snap.Gap); err != nil {
+		return nil, fmt.Errorf("attack: load Mgap: %w", err)
+	}
+	if m.Long, err = decodeLSTM(snap.Long); err != nil {
+		return nil, fmt.Errorf("attack: load Mlong: %w", err)
+	}
+	if m.VLong, err = decodeLSTM(snap.VLong); err != nil {
+		return nil, fmt.Errorf("attack: load Vlong: %w", err)
+	}
+	if m.Op, err = decodeLSTM(snap.Op); err != nil {
+		return nil, fmt.Errorf("attack: load Mop: %w", err)
+	}
+	if m.VOp, err = decodeLSTM(snap.VOp); err != nil {
+		return nil, fmt.Errorf("attack: load Vop: %w", err)
+	}
+	for kind := HPKind(0); kind < NumHPKinds; kind++ {
+		if m.HP[kind], err = decodeLSTM(snap.HP[kind]); err != nil {
+			return nil, fmt.Errorf("attack: load Mhp[%s]: %w", kind, err)
+		}
+	}
+	return m, nil
+}
+
+func encodeLSTM(net *lstm.Network) ([]byte, error) {
+	if net == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeLSTM(blob []byte) (*lstm.Network, error) {
+	if len(blob) == 0 {
+		return nil, nil
+	}
+	return lstm.Load(bytes.NewReader(blob))
+}
+
+func encodeGBDT(c *gbdt.Classifier) ([]byte, error) {
+	if c == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeGBDT(blob []byte) (*gbdt.Classifier, error) {
+	if len(blob) == 0 {
+		return nil, nil
+	}
+	return gbdt.Load(bytes.NewReader(blob))
+}

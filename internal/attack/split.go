@@ -1,0 +1,82 @@
+package attack
+
+import (
+	"errors"
+	"sort"
+)
+
+// SplitResult is the outcome of the Mgap iteration-splitting stage.
+type SplitResult struct {
+	// IsNOP is Mgap's per-sample classification.
+	IsNOP []bool
+	// All contains every busy segment between NOP gaps.
+	All []Range
+	// Valid contains the segments whose sample counts fall within
+	// [RMin, RMax] of the average — the "clean" iterations usable for voting
+	// (§IV-A's removal of incomplete iterations).
+	Valid []Range
+}
+
+// SplitIterations runs Mgap over the scaled features, splits the sample
+// stream at runs of at least THGap consecutive NOP samples, and filters
+// incomplete iterations.
+func (m *Models) SplitIterations(features [][]float64) (*SplitResult, error) {
+	if m.Gap == nil {
+		return nil, errors.New("attack: Mgap not trained")
+	}
+	res := &SplitResult{IsNOP: make([]bool, len(features))}
+	for i, f := range features {
+		label, err := m.Gap.Predict(f)
+		if err != nil {
+			return nil, err
+		}
+		res.IsNOP[i] = label == 1
+	}
+
+	// Split at NOP runs of length >= THGap. Shorter NOP runs stay inside the
+	// iteration (the paper observes NOPs inside layers too).
+	th := m.Cfg.THGap
+	start := -1 // first busy sample of the open segment
+	lastBusy := -1
+	nopRun := 0
+	for i, isNOP := range res.IsNOP {
+		if isNOP {
+			nopRun++
+			if nopRun == th && start >= 0 {
+				res.All = append(res.All, Range{Start: start, End: lastBusy + 1})
+				start = -1
+			}
+			continue
+		}
+		nopRun = 0
+		if start < 0 {
+			start = i
+		}
+		lastBusy = i
+	}
+	if start >= 0 && lastBusy >= start {
+		res.All = append(res.All, Range{Start: start, End: lastBusy + 1})
+	}
+
+	if len(res.All) == 0 {
+		return res, nil
+	}
+	// Reference count: the median segment length. The paper uses the mean
+	// ("compare the number of samples to the average across iterations"),
+	// which is equivalent over its 500-iteration traces; the median stays
+	// robust when only a handful of iterations were observed and one of them
+	// is a truncated runt.
+	lengths := make([]int, len(res.All))
+	for i, r := range res.All {
+		lengths[i] = r.End - r.Start
+	}
+	sort.Ints(lengths)
+	ref := float64(lengths[len(lengths)/2])
+	for _, r := range res.All {
+		n := float64(r.End - r.Start)
+		if n >= m.Cfg.RMin*ref && n <= m.Cfg.RMax*ref {
+			res.Valid = append(res.Valid, r)
+		}
+	}
+	return res, nil
+}

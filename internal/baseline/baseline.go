@@ -1,0 +1,174 @@
+// Package baseline implements the prior-work attack MoSConS is compared
+// against: Naghibijouybari et al. (CCS'18) co-locate a spy with the victim
+// under MPS and, from the one coarse CUPTI sample obtainable per training
+// iteration, infer only the neuron count of the DNN's input layer. The
+// paper's §I and §VII argue this is too coarse to recover model structure;
+// this package reproduces both the mechanism and the limitation so the two
+// attacks can be compared head-to-head.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"leakydnn/internal/cupti"
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/gpu"
+	"leakydnn/internal/spy"
+	"leakydnn/internal/tfsim"
+)
+
+// Observation is one per-iteration aggregate CUPTI reading — all the MPS
+// co-location channel yields (Figure 2).
+type Observation struct {
+	Iteration int
+	// Total is the summed counter vector of the iteration's single sample.
+	Total float64
+	// Span is the probe kernel's stretched wall time (the CCS'18 attack
+	// reads it from CUPTI's elapsed-cycles counter): the one quantity that
+	// scales with the victim's input-layer size, because a bigger first
+	// layer stretches the iteration the starved probe must wait out.
+	Span gpu.Nanos
+}
+
+// Config describes a baseline run.
+type Config struct {
+	Device     gpu.DeviceConfig
+	Iterations int
+	IterGap    gpu.Nanos
+	// TimeScale matches the spy kernels to the platform scale.
+	TimeScale float64
+	Seed      int64
+}
+
+// Collect runs the CCS'18-style attack: victim and spy co-located under
+// MPS, one spy sample per victim iteration.
+func Collect(m dnn.Model, cfg Config) ([]Observation, error) {
+	sess, err := tfsim.NewSession(m, tfsim.Config{
+		Iterations: cfg.Iterations,
+		IterGap:    cfg.IterGap,
+	}, cfg.Device)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := spy.NewProgram(spy.Config{
+		Ctx:       2,
+		Probe:     spy.Conv200,
+		TimeScale: cfg.TimeScale,
+		// Per-kernel sampling: under MPS each probe completion spans a whole
+		// victim iteration.
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	eng, err := gpu.NewMPSEngine(cfg.Device, rng, sess.Source())
+	if err != nil {
+		return nil, err
+	}
+	tl := &tfsim.Timeline{}
+	eng.OnSlice = prog.ObserveSlice
+	eng.OnKernelEnd = func(span gpu.KernelSpan) {
+		tl.Observe(span)
+		prog.ObserveKernelEnd(span)
+	}
+	prog.AttachMPS(eng)
+	horizon := (sess.IterationDuration() + cfg.IterGap) * gpu.Nanos(cfg.Iterations) * 8
+	eng.Run(horizon)
+
+	var out []Observation
+	for _, s := range prog.Samples(eng.Now()) {
+		// Attribute the sample to the iteration it overlaps most.
+		e, ok := tl.DominantOp(s.Start, s.End)
+		if !ok {
+			continue
+		}
+		out = append(out, Observation{
+			Iteration: e.Iteration,
+			Total:     sampleTotal(s),
+			Span:      s.End - s.Start,
+		})
+	}
+	return out, nil
+}
+
+func meanSpan(obs []Observation) float64 {
+	var sum float64
+	for _, o := range obs {
+		sum += float64(o.Span)
+	}
+	return sum / float64(len(obs))
+}
+
+func sampleTotal(s cupti.Sample) float64 {
+	var total float64
+	for _, v := range s.Values {
+		total += v
+	}
+	return total
+}
+
+// NeuronCountModel is the baseline's inference model: a nearest-centroid
+// classifier from per-iteration aggregate readings to the input layer's
+// neuron count, trained on the adversary's own profiled runs — the full
+// extent of what the CCS'18 channel recovers.
+type NeuronCountModel struct {
+	centroids []centroid
+}
+
+type centroid struct {
+	neurons int
+	mean    float64
+}
+
+// TrainNeuronCount fits the classifier on profiled (neurons, observations)
+// pairs.
+func TrainNeuronCount(profiled map[int][]Observation) (*NeuronCountModel, error) {
+	if len(profiled) < 2 {
+		return nil, fmt.Errorf("baseline: need at least 2 profiled neuron counts, got %d", len(profiled))
+	}
+	m := &NeuronCountModel{}
+	for neurons, obs := range profiled {
+		if len(obs) == 0 {
+			return nil, fmt.Errorf("baseline: no observations for %d neurons", neurons)
+		}
+		m.centroids = append(m.centroids, centroid{neurons: neurons, mean: meanSpan(obs)})
+	}
+	sort.Slice(m.centroids, func(i, j int) bool { return m.centroids[i].neurons < m.centroids[j].neurons })
+	return m, nil
+}
+
+// Predict returns the nearest-centroid neuron count for the victim's
+// observations.
+func (m *NeuronCountModel) Predict(obs []Observation) (int, error) {
+	if len(obs) == 0 {
+		return 0, fmt.Errorf("baseline: no observations")
+	}
+	mean := meanSpan(obs)
+	best := m.centroids[0]
+	bestDist := math.Abs(mean - best.mean)
+	for _, c := range m.centroids[1:] {
+		if d := math.Abs(mean - c.mean); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best.neurons, nil
+}
+
+// Comparison summarizes what each attack recovers from the same victim —
+// the paper's Table-less but central comparison (§I, §VII): the baseline
+// gets one number, MoSConS gets the structure.
+type Comparison struct {
+	// BaselineNeurons is the input-layer neuron count the CCS'18 channel
+	// inferred, and whether it was right.
+	BaselineNeurons int
+	BaselineCorrect bool
+	// BaselineSamplesPerIter shows the channel's resolution limit.
+	BaselineSamplesPerIter float64
+	// MoSConSOpSeq and MoSConSLayerAcc summarize the fine-grained recovery
+	// the time-sliced channel enables.
+	MoSConSOpSeq    string
+	MoSConSLayerAcc float64
+}

@@ -1,0 +1,171 @@
+package baseline
+
+import (
+	"testing"
+
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/gpu"
+)
+
+func testConfig(seed int64) Config {
+	return Config{
+		Device:     gpu.DefaultDeviceConfig().ScaledTime(0.002),
+		Iterations: 5,
+		IterGap:    120 * gpu.Microsecond,
+		TimeScale:  0.002,
+		Seed:       seed,
+	}
+}
+
+// mlp builds a single-hidden-layer MLP whose first layer has the given
+// neuron count — the one quantity the baseline channel can resolve.
+func mlp(neurons int) dnn.Model {
+	return dnn.Model{
+		Name:  "baseline-mlp",
+		Input: dnn.Shape{H: 16, W: 16, C: 3},
+		Batch: 16,
+		Layers: []dnn.Layer{
+			dnn.FC(neurons, dnn.ActReLU),
+			dnn.FC(10, dnn.ActSigmoid),
+		},
+		Optimizer: dnn.OptimizerGD,
+	}
+}
+
+// The MPS channel must yield roughly one observation per iteration — the
+// resolution ceiling the paper's Figure 2 shows.
+func TestCollectYieldsOneObservationPerIteration(t *testing.T) {
+	obs, err := Collect(mlp(256), testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) == 0 {
+		t.Fatal("no observations")
+	}
+	perIter := make(map[int]int)
+	for _, o := range obs {
+		perIter[o.Iteration]++
+	}
+	for iter, n := range perIter {
+		if n > 2 {
+			t.Errorf("iteration %d yielded %d observations; MPS should give ~1", iter, n)
+		}
+	}
+}
+
+// The baseline recovers the input layer's neuron count (its one success),
+// because larger layers stretch the iteration the probe spans.
+func TestNeuronCountRecovery(t *testing.T) {
+	counts := []int{64, 512, 4096}
+	profiled := make(map[int][]Observation)
+	for i, n := range counts {
+		obs, err := Collect(mlp(n), testConfig(10+int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(obs) == 0 {
+			t.Fatalf("no observations for %d neurons", n)
+		}
+		profiled[n] = obs
+	}
+	model, err := TrainNeuronCount(profiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, n := range counts {
+		victim, err := Collect(mlp(n), testConfig(100+int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := model.Predict(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == n {
+			correct++
+		} else {
+			t.Logf("neurons %d predicted as %d", n, got)
+		}
+	}
+	if correct < 2 {
+		t.Fatalf("baseline recovered %d/3 neuron counts, want >= 2", correct)
+	}
+}
+
+// The baseline cannot distinguish models with the same aggregate footprint
+// but different structure — the limitation that motivates MoSConS.
+func TestBaselineBlindToStructure(t *testing.T) {
+	// Two different layer sequences engineered to very similar totals: the
+	// observations should be statistically inseparable for the classifier.
+	a := dnn.Model{
+		Name: "struct-a", Input: dnn.Shape{H: 16, W: 16, C: 3}, Batch: 16,
+		Layers: []dnn.Layer{
+			dnn.FC(256, dnn.ActReLU),
+			dnn.FC(256, dnn.ActReLU),
+		},
+		Optimizer: dnn.OptimizerGD,
+	}
+	b := dnn.Model{
+		Name: "struct-b", Input: dnn.Shape{H: 16, W: 16, C: 3}, Batch: 16,
+		Layers: []dnn.Layer{
+			dnn.FC(256, dnn.ActTanh),
+			dnn.FC(256, dnn.ActSigmoid),
+		},
+		Optimizer: dnn.OptimizerGD,
+	}
+	obsA, err := Collect(a, testConfig(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsB, err := Collect(b, testConfig(201))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanOf := func(obs []Observation) float64 {
+		var s float64
+		for _, o := range obs {
+			s += o.Total
+		}
+		return s / float64(len(obs))
+	}
+	ma, mb := meanOf(obsA), meanOf(obsB)
+	rel := (ma - mb) / ma
+	if rel < 0 {
+		rel = -rel
+	}
+	// Structural differences (activation choice) change the aggregate by a
+	// few percent at most — far below what one sample/iteration can resolve
+	// against run-to-run noise.
+	if rel > 0.25 {
+		t.Fatalf("aggregate readings separate structure (%.1f%% apart); baseline should be blind-ish", rel*100)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := TrainNeuronCount(nil); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	if _, err := TrainNeuronCount(map[int][]Observation{64: {{Total: 1}}}); err == nil {
+		t.Fatal("single-class profile accepted")
+	}
+	if _, err := TrainNeuronCount(map[int][]Observation{64: {{Total: 1}}, 128: nil}); err == nil {
+		t.Fatal("empty class accepted")
+	}
+	m, err := TrainNeuronCount(map[int][]Observation{
+		64: {{Span: 10}}, 128: {{Span: 20}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict(nil); err == nil {
+		t.Fatal("empty prediction input accepted")
+	}
+	got, err := m.Predict([]Observation{{Span: 19}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 128 {
+		t.Fatalf("Predict = %d, want 128", got)
+	}
+}

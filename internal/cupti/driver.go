@@ -1,0 +1,83 @@
+package cupti
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrAccessRestricted is returned when the installed driver enforces the
+// February-2019 Nvidia security bulletin that limits CUPTI to privileged
+// users.
+var ErrAccessRestricted = errors.New("cupti: profiler access restricted by driver policy (see Nvidia security bulletin 4772)")
+
+// Driver models the GPU driver version installed in the spy's VM and the
+// CUPTI access policy it enforces. The paper shows that on EC2 a root tenant
+// can downgrade from a patched driver (418.40.04) to an unpatched one
+// (384.130), re-enabling CUPTI without the victim noticing.
+type Driver struct {
+	version string
+}
+
+// Driver versions referenced by the paper.
+const (
+	PatchedDriverVersion   = "418.40.04"
+	UnpatchedDriverVersion = "384.130"
+)
+
+// restrictedSinceMajor is the first driver major version enforcing the
+// CUPTI access restriction.
+const restrictedSinceMajor = 418
+
+// NewDriver returns a driver with the given version string (e.g. "384.130").
+func NewDriver(version string) (*Driver, error) {
+	if _, err := majorOf(version); err != nil {
+		return nil, err
+	}
+	return &Driver{version: version}, nil
+}
+
+// Version returns the installed driver version.
+func (d *Driver) Version() string { return d.version }
+
+// CheckAccess reports whether an unprivileged CUPTI client may read
+// performance counters under this driver.
+func (d *Driver) CheckAccess() error {
+	major, err := majorOf(d.version)
+	if err != nil {
+		return err
+	}
+	if major >= restrictedSinceMajor {
+		return ErrAccessRestricted
+	}
+	return nil
+}
+
+// Downgrade installs the given (older) driver version, as the root user of
+// the spy's VM can. Upgrading through this path is rejected: the attack only
+// ever moves to an older, unrestricted driver.
+func (d *Driver) Downgrade(version string) error {
+	newMajor, err := majorOf(version)
+	if err != nil {
+		return err
+	}
+	curMajor, err := majorOf(d.version)
+	if err != nil {
+		return err
+	}
+	if newMajor >= curMajor {
+		return fmt.Errorf("cupti: %q is not a downgrade from %q", version, d.version)
+	}
+	d.version = version
+	return nil
+}
+
+func majorOf(version string) (int, error) {
+	head, _, _ := strings.Cut(version, ".")
+	major, err := strconv.Atoi(head)
+	if err != nil || major <= 0 {
+		return 0, fmt.Errorf("cupti: malformed driver version %q", version)
+	}
+	return major, nil
+}

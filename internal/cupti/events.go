@@ -1,0 +1,108 @@
+// Package cupti emulates the CUDA Profiling Tools Interface surface that the
+// MoSConS spy depends on: the performance-counter events of the paper's
+// Table IV, their grouping (reading more groups slows the spy's sampling),
+// the sampling disciplines (per-kernel and fixed-period), and the driver
+// access-control gate whose downgrade bypass the paper demonstrates on EC2.
+package cupti
+
+import "fmt"
+
+// Event identifies one hardware performance counter.
+type Event int
+
+// The ten counters MoSConS selects (paper Table IV). They form three groups:
+// texture-cache queries, frame-buffer (DRAM) sector traffic, and L2 sector
+// misses.
+const (
+	Tex0CacheSectorQueries Event = iota
+	Tex1CacheSectorQueries
+	FBSubp0ReadSectors
+	FBSubp1ReadSectors
+	FBSubp0WriteSectors
+	FBSubp1WriteSectors
+	L2Subp0ReadSectorMisses
+	L2Subp1ReadSectorMisses
+	L2Subp0WriteSectorMisses
+	L2Subp1WriteSectorMisses
+
+	// NumEvents is the size of a full counter vector.
+	NumEvents
+)
+
+var eventNames = [NumEvents]string{
+	"tex0_cache_sector_queries",
+	"tex1_cache_sector_queries",
+	"fb_subp0_read_sectors",
+	"fb_subp1_read_sectors",
+	"fb_subp0_write_sectors",
+	"fb_subp1_write_sectors",
+	"l2_subp0_read_sector_misses",
+	"l2_subp1_read_sector_misses",
+	"l2_subp0_write_sector_misses",
+	"l2_subp1_write_sector_misses",
+}
+
+// String returns the CUPTI event name.
+func (e Event) String() string {
+	if e < 0 || e >= NumEvents {
+		return fmt.Sprintf("cupti.Event(%d)", int(e))
+	}
+	return eventNames[e]
+}
+
+// Group identifies a CUPTI counter group. Counters in different groups
+// require separate collection passes, so each enabled group adds to the spy
+// kernel's execution time (paper §IV, "Selecting CUPTI counters").
+type Group int
+
+// The three groups of Table IV.
+const (
+	GroupTexture Group = iota + 1
+	GroupFrameBuffer
+	GroupL2
+)
+
+// Group returns the collection group of the event.
+func (e Event) Group() Group {
+	switch {
+	case e <= Tex1CacheSectorQueries:
+		return GroupTexture
+	case e <= FBSubp1WriteSectors:
+		return GroupFrameBuffer
+	default:
+		return GroupL2
+	}
+}
+
+// SelectedEvents returns the paper's ten chosen counters in vector order.
+func SelectedEvents() []Event {
+	out := make([]Event, NumEvents)
+	for i := range out {
+		out[i] = Event(i)
+	}
+	return out
+}
+
+// GroupsOf returns the distinct groups covering the given events.
+func GroupsOf(events []Event) []Group {
+	seen := make(map[Group]bool, 3)
+	var out []Group
+	for _, e := range events {
+		g := e.Group()
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// GroupReadOverheadFrac is the fractional slowdown of a profiled kernel per
+// enabled counter group (each group adds a replay/collection pass).
+const GroupReadOverheadFrac = 0.05
+
+// ProfilingOverhead returns the multiplicative execution-time overhead of
+// profiling the given events (1.0 = no overhead).
+func ProfilingOverhead(events []Event) float64 {
+	return 1 + GroupReadOverheadFrac*float64(len(GroupsOf(events)))
+}

@@ -1,0 +1,77 @@
+// Package defense implements the countermeasures the paper proposes in §VI
+// and leaves as future work: reducing the precision of CUPTI counters
+// (quantization and noise injection) and hardening the time-sliced scheduler
+// to protect critical applications from fine-grained preemption. The eval
+// package measures how much of MoSConS's accuracy each defense removes.
+package defense
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"leakydnn/internal/cupti"
+	"leakydnn/internal/gpu"
+)
+
+// QuantizeSamples rounds every counter of every sample down to a multiple of
+// step — the "reducing the precision of CUPTI" defense. The profiler stays
+// useful for coarse performance work while fine-grained differences between
+// ops disappear below the step.
+func QuantizeSamples(samples []cupti.Sample, step float64) ([]cupti.Sample, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("defense: quantization step must be positive, got %v", step)
+	}
+	out := make([]cupti.Sample, len(samples))
+	for i, s := range samples {
+		q := s
+		for e := range q.Values {
+			q.Values[e] = math.Floor(q.Values[e]/step) * step
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+// NoiseSamples perturbs every counter multiplicatively by N(0, frac²) — the
+// alternative precision-reduction defense. The rng seed makes evaluations
+// reproducible.
+func NoiseSamples(samples []cupti.Sample, frac float64, seed int64) ([]cupti.Sample, error) {
+	if frac < 0 {
+		return nil, fmt.Errorf("defense: negative noise fraction %v", frac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]cupti.Sample, len(samples))
+	for i, s := range samples {
+		n := s
+		for e := range n.Values {
+			v := n.Values[e] * (1 + frac*rng.NormFloat64())
+			if v < 0 {
+				v = 0
+			}
+			n.Values[e] = v
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// HardenScheduler returns a device configuration with the scheduler
+// protections of §VI enabled for the given (victim) context: boosted time
+// slices so preemption samples the victim far more coarsely, and a channel
+// cap that disarms the slow-down attack's kernel multiplication.
+func HardenScheduler(cfg gpu.DeviceConfig, protect gpu.ContextID, boost float64, maxChannels int) (gpu.DeviceConfig, error) {
+	if protect == 0 {
+		return cfg, fmt.Errorf("defense: protected context must be non-zero")
+	}
+	if boost < 1 {
+		return cfg, fmt.Errorf("defense: boost must be >= 1, got %v", boost)
+	}
+	if maxChannels < 1 {
+		return cfg, fmt.Errorf("defense: channel cap must be >= 1, got %d", maxChannels)
+	}
+	cfg.ProtectedCtx = protect
+	cfg.ProtectedBoost = boost
+	cfg.MaxChannelsPerCtx = maxChannels
+	return cfg, nil
+}

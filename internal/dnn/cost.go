@@ -1,0 +1,199 @@
+package dnn
+
+const bytesPerScalar = 4 // fp32 training
+
+// bwEfficiency is the fraction of peak DRAM bandwidth an op kind achieves.
+// Pure streaming ops run near peak; transcendental activations are limited
+// by special-function-unit throughput, which throttles their effective
+// streaming rate. These ratios are what make same-shape element-wise ops
+// (ReLU vs Tanh vs Sigmoid) distinguishable through the time-share component
+// of the side channel, exactly as their differing execution times do on real
+// hardware.
+func bwEfficiency(k OpKind) float64 {
+	switch k {
+	case OpReLU, OpReLUGrad:
+		return 0.95
+	case OpBiasAdd:
+		return 0.88
+	case OpBiasAddGrad:
+		return 0.80
+	case OpSigmoid, OpSigmoidGrad:
+		return 0.70
+	case OpTanh, OpTanhGrad:
+		return 0.55
+	case OpMaxPool, OpMaxPoolGrad:
+		return 0.85
+	case OpResidualAdd, OpResidualAddGrad:
+		return 0.90
+	case OpMatMul, OpMatMulGradWeights, OpMatMulGradInput:
+		// Blocked GEMM reuses tiles out of L2/shared memory; even when
+		// memory-bound it streams weights at well below STREAM rates.
+		return 0.62
+	case OpApplyGD:
+		// Optimizer updates interleave several state tensors and per-element
+		// transcendental math (sqrt, div), leaving them latency-bound well
+		// below streaming rates — progressively more so with richer state.
+		return 0.50
+	case OpApplyAdagrad:
+		return 0.42
+	case OpApplyAdam:
+		return 0.35
+	case OpConv2D, OpConv2DBackpropFilter, OpConv2DBackpropInput:
+		// im2col/texture-path staging costs convolutions some streaming
+		// efficiency even when memory-bound.
+		return 0.85
+	default:
+		return 1.0
+	}
+}
+
+// elementwiseWorkingSet is the nominal L2-reusable footprint of a streaming
+// op (loop tiles and constants only; the data itself does not revisit L2).
+const elementwiseWorkingSet = 64 << 10
+
+// convTileWorkingSet is the im2col/weight tile a conv kernel keeps hot.
+const convTileWorkingSet = 256 << 10
+
+// fillCost computes the op's FLOPs, DRAM traffic, texture traffic and L2
+// working set from its shapes and hyper-parameters. The bandwidth-efficiency
+// penalty of throttled ops is folded into ReadBytes/WriteBytes-derived
+// durations by inflating the bytes' time cost at lowering; here we record
+// raw traffic.
+func (o *Op) fillCost(layer *Layer) {
+	b := float64(o.Batch)
+	inE := float64(o.In.Elems())
+	outE := float64(o.Out.Elems())
+
+	switch o.Kind {
+	case OpConv2D:
+		f := float64(o.FilterSize)
+		k := float64(o.NumFilters)
+		c := float64(o.In.C)
+		o.FLOPs = 2 * b * outE / k * k * c * f * f // 2·B·H'·W'·K·C·F²
+		weights := f * f * c * k * bytesPerScalar
+		o.ReadBytes = b*inE*bytesPerScalar*1.2 + weights
+		o.WriteBytes = b * outE * bytesPerScalar
+		o.TexBytes = b * inE * bytesPerScalar * 0.9
+		o.WorkingSetBytes = weights + convTileWorkingSet
+
+	case OpConv2DBackpropFilter, OpConv2DBackpropInput:
+		f := float64(o.FilterSize)
+		k := float64(o.NumFilters)
+		c := float64(o.In.C)
+		o.FLOPs = 2 * b * outE / k * k * c * f * f
+		weights := f * f * c * k * bytesPerScalar
+		if o.Kind == OpConv2DBackpropFilter {
+			// Reads input activations and output gradients, writes dW.
+			o.ReadBytes = b*(inE+outE)*bytesPerScalar + weights
+			o.WriteBytes = weights
+		} else {
+			// Reads filters and output gradients, writes dX.
+			o.ReadBytes = b*outE*bytesPerScalar + weights
+			o.WriteBytes = b * inE * bytesPerScalar
+		}
+		o.TexBytes = b * outE * bytesPerScalar * 0.7
+		o.WorkingSetBytes = weights + convTileWorkingSet
+
+	case OpMatMul, OpMatMulGradWeights, OpMatMulGradInput:
+		m := inE
+		n := outE
+		if o.Kind == OpMatMulGradInput {
+			m, n = n, m // dX = dY · Wᵀ, same cost symmetry
+		}
+		o.FLOPs = 2 * b * m * n
+		weights := m * n * bytesPerScalar
+		o.ReadBytes = b*m*bytesPerScalar + weights
+		o.WriteBytes = b * n * bytesPerScalar
+		if o.Kind == OpMatMulGradWeights {
+			o.ReadBytes = b * (m + n) * bytesPerScalar
+			o.WriteBytes = weights
+		}
+		o.WorkingSetBytes = weights
+
+	case OpBiasAdd:
+		o.FLOPs = b * outE
+		o.ReadBytes = (b*outE + float64(o.Out.C)) * bytesPerScalar
+		o.WriteBytes = b * outE * bytesPerScalar
+		o.WorkingSetBytes = elementwiseWorkingSet
+
+	case OpBiasAddGrad:
+		o.FLOPs = b * inE
+		o.ReadBytes = b * inE * bytesPerScalar
+		o.WriteBytes = float64(o.In.C) * bytesPerScalar
+		o.WorkingSetBytes = elementwiseWorkingSet
+
+	case OpReLU, OpTanh, OpSigmoid:
+		flopsPer := map[OpKind]float64{OpReLU: 1, OpTanh: 20, OpSigmoid: 12}[o.Kind]
+		o.FLOPs = b * outE * flopsPer
+		o.ReadBytes = b * outE * bytesPerScalar
+		o.WriteBytes = b * outE * bytesPerScalar
+		o.WorkingSetBytes = elementwiseWorkingSet
+
+	case OpReLUGrad, OpTanhGrad, OpSigmoidGrad:
+		flopsPer := map[OpKind]float64{OpReLUGrad: 1, OpTanhGrad: 4, OpSigmoidGrad: 3}[o.Kind]
+		o.FLOPs = b * outE * flopsPer
+		o.ReadBytes = 2 * b * outE * bytesPerScalar // saved activation + incoming grad
+		o.WriteBytes = b * outE * bytesPerScalar
+		o.WorkingSetBytes = elementwiseWorkingSet
+
+	case OpMaxPool:
+		p := 2.0
+		if layer != nil && layer.PoolSize > 0 {
+			p = float64(layer.PoolSize)
+		}
+		o.FLOPs = b * outE * p * p
+		o.ReadBytes = b * inE * bytesPerScalar
+		o.WriteBytes = b * outE * bytesPerScalar * 2 // values + argmax indices
+		o.WorkingSetBytes = elementwiseWorkingSet
+
+	case OpMaxPoolGrad:
+		o.FLOPs = b * inE
+		o.ReadBytes = 2 * b * outE * bytesPerScalar // incoming grad + indices
+		o.WriteBytes = b * inE * bytesPerScalar
+		o.WorkingSetBytes = elementwiseWorkingSet
+
+	case OpApplyGD:
+		p := float64(o.Params)
+		o.FLOPs = 2 * p
+		o.ReadBytes = 2 * p * bytesPerScalar // w, g
+		o.WriteBytes = p * bytesPerScalar
+		o.WorkingSetBytes = elementwiseWorkingSet
+
+	case OpApplyAdagrad:
+		p := float64(o.Params)
+		o.FLOPs = 6 * p
+		o.ReadBytes = 3 * p * bytesPerScalar // w, g, accumulator
+		o.WriteBytes = 2 * p * bytesPerScalar
+		o.WorkingSetBytes = elementwiseWorkingSet
+
+	case OpApplyAdam:
+		p := float64(o.Params)
+		o.FLOPs = 12 * p
+		o.ReadBytes = 4 * p * bytesPerScalar // w, g, m, v
+		o.WriteBytes = 3 * p * bytesPerScalar
+		o.WorkingSetBytes = elementwiseWorkingSet
+
+	case OpResidualAdd, OpResidualAddGrad:
+		o.FLOPs = b * outE
+		o.ReadBytes = 2 * b * outE * bytesPerScalar // main path + shortcut
+		o.WriteBytes = b * outE * bytesPerScalar
+		o.WorkingSetBytes = elementwiseWorkingSet
+	}
+
+}
+
+// effectiveBytes returns the read+write byte volume inflated by the op's
+// bandwidth inefficiency; the lowering derives the kernel's duration from it
+// while the raw byte counts still drive the performance counters.
+func (o *Op) effectiveBytes() float64 {
+	return (o.ReadBytes + o.WriteBytes) / bwEfficiency(o.Kind)
+}
+
+// texWorkingSet returns the texture-cache footprint of the op: only the
+// texture-path convolution kernels keep state there.
+func (o *Op) texWorkingSet() float64 {
+	if o.TexBytes > 0 {
+		return convTileWorkingSet / 2
+	}
+	return 0
+}

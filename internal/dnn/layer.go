@@ -1,0 +1,313 @@
+package dnn
+
+import "fmt"
+
+// Activation selects a layer's non-linearity.
+type Activation int
+
+// Supported activation functions.
+const (
+	ActNone Activation = iota
+	ActReLU
+	ActTanh
+	ActSigmoid
+)
+
+// String returns the activation name.
+func (a Activation) String() string {
+	switch a {
+	case ActNone:
+		return "None"
+	case ActReLU:
+		return "ReLU"
+	case ActTanh:
+		return "Tanh"
+	case ActSigmoid:
+		return "Sigmoid"
+	}
+	return fmt.Sprintf("dnn.Activation(%d)", int(a))
+}
+
+// Letter returns the activation's single-letter label (R/T/S).
+func (a Activation) Letter() byte {
+	switch a {
+	case ActReLU:
+		return 'R'
+	case ActTanh:
+		return 'T'
+	case ActSigmoid:
+		return 'S'
+	}
+	return '-'
+}
+
+// forwardOp returns the forward op kind of the activation.
+func (a Activation) forwardOp() (OpKind, bool) {
+	switch a {
+	case ActReLU:
+		return OpReLU, true
+	case ActTanh:
+		return OpTanh, true
+	case ActSigmoid:
+		return OpSigmoid, true
+	}
+	return 0, false
+}
+
+// backwardOp returns the gradient op kind of the activation.
+func (a Activation) backwardOp() (OpKind, bool) {
+	switch a {
+	case ActReLU:
+		return OpReLUGrad, true
+	case ActTanh:
+		return OpTanhGrad, true
+	case ActSigmoid:
+		return OpSigmoidGrad, true
+	}
+	return 0, false
+}
+
+// LayerKind selects a layer type.
+type LayerKind int
+
+// Supported layer kinds.
+const (
+	LayerConv LayerKind = iota + 1
+	LayerFC
+	LayerMaxPool
+	// LayerRNN is a simple recurrent layer (shared-weight per-step MatMul +
+	// Tanh). The paper states MoSConS "is not supposed to be effective on
+	// RNN models due to their very different designs" (§VI limitation 6);
+	// this layer exists to demonstrate exactly that.
+	LayerRNN
+)
+
+// String returns the layer kind name.
+func (k LayerKind) String() string {
+	switch k {
+	case LayerConv:
+		return "Conv"
+	case LayerFC:
+		return "FC"
+	case LayerMaxPool:
+		return "MaxPool"
+	case LayerRNN:
+		return "RNN"
+	}
+	return fmt.Sprintf("dnn.LayerKind(%d)", int(k))
+}
+
+// Layer is one layer of a model together with its secret hyper-parameters
+// (the attack's targets: §II-A items 1-5).
+type Layer struct {
+	Kind LayerKind
+
+	// Conv hyper-parameters.
+	FilterSize int // square filter edge
+	NumFilters int
+	Stride     int
+
+	// FC hyper-parameter.
+	Neurons int
+
+	// Pooling window (MaxPool layers; defaults to 2 when 0).
+	PoolSize int
+
+	// Steps is the recurrent sequence length (RNN layers).
+	Steps int
+
+	// Act is the layer's activation (conv and FC layers).
+	Act Activation
+
+	// ShortcutFrom, when positive, adds a ResNet-style identity shortcut
+	// from the output of the layer this many positions earlier: the layer's
+	// output is element-wise added to that earlier output. The paper's
+	// MoSConS cannot observe where shortcuts attach (§IV-C); the attack
+	// recovers them with domain knowledge instead.
+	ShortcutFrom int
+}
+
+// Conv returns a convolutional layer spec.
+func Conv(filterSize, numFilters, stride int, act Activation) Layer {
+	return Layer{Kind: LayerConv, FilterSize: filterSize, NumFilters: numFilters, Stride: stride, Act: act}
+}
+
+// FC returns a fully-connected layer spec.
+func FC(neurons int, act Activation) Layer {
+	return Layer{Kind: LayerFC, Neurons: neurons, Act: act}
+}
+
+// MaxPool returns a 2x2/stride-2 max-pooling layer spec.
+func MaxPool() Layer {
+	return Layer{Kind: LayerMaxPool, PoolSize: 2}
+}
+
+// RNN returns a simple recurrent layer: the input is consumed as a sequence
+// of steps, each running the shared-weight cell (MatMul + Tanh); the final
+// hidden state feeds the next layer.
+func RNN(hidden, steps int) Layer {
+	return Layer{Kind: LayerRNN, Neurons: hidden, Steps: steps, Act: ActTanh}
+}
+
+// OptimizerKind selects the model's gradient-descent optimizer (a model
+// hyper-parameter the paper also recovers).
+type OptimizerKind int
+
+// Supported optimizers.
+const (
+	OptimizerGD OptimizerKind = iota + 1
+	OptimizerAdagrad
+	OptimizerAdam
+)
+
+// String returns the optimizer name.
+func (o OptimizerKind) String() string {
+	switch o {
+	case OptimizerGD:
+		return "GD"
+	case OptimizerAdagrad:
+		return "Adagrad"
+	case OptimizerAdam:
+		return "Adam"
+	}
+	return fmt.Sprintf("dnn.OptimizerKind(%d)", int(o))
+}
+
+// applyOp returns the optimizer's per-variable update op kind.
+func (o OptimizerKind) applyOp() OpKind {
+	switch o {
+	case OptimizerAdagrad:
+		return OpApplyAdagrad
+	case OptimizerAdam:
+		return OpApplyAdam
+	default:
+		return OpApplyGD
+	}
+}
+
+// Model is a full CNN/MLP definition: the victim's intellectual property.
+type Model struct {
+	Name      string
+	Input     Shape // per-example input (e.g. 224x224x3)
+	Batch     int
+	Layers    []Layer
+	Optimizer OptimizerKind
+}
+
+// Validate checks the model's structural legality and returns the output
+// shape of every layer (len(Layers)+1 entries, starting with the input).
+func (m Model) Validate() ([]Shape, error) {
+	if m.Batch <= 0 {
+		return nil, fmt.Errorf("dnn: model %q: batch must be positive, got %d", m.Name, m.Batch)
+	}
+	if m.Input.Elems() <= 0 {
+		return nil, fmt.Errorf("dnn: model %q: invalid input shape %v", m.Name, m.Input)
+	}
+	if len(m.Layers) == 0 {
+		return nil, fmt.Errorf("dnn: model %q has no layers", m.Name)
+	}
+	switch m.Optimizer {
+	case OptimizerGD, OptimizerAdagrad, OptimizerAdam:
+	default:
+		return nil, fmt.Errorf("dnn: model %q: unknown optimizer %d", m.Name, int(m.Optimizer))
+	}
+
+	shapes := make([]Shape, 0, len(m.Layers)+1)
+	shapes = append(shapes, m.Input)
+	cur := m.Input
+	for i, l := range m.Layers {
+		next, err := l.outputShape(cur)
+		if err != nil {
+			return nil, fmt.Errorf("dnn: model %q layer %d (%s): %w", m.Name, i, l.Kind, err)
+		}
+		cur = next
+		shapes = append(shapes, cur)
+		if l.ShortcutFrom > 0 {
+			src := i - l.ShortcutFrom
+			if src < -1 || src >= i {
+				return nil, fmt.Errorf("dnn: model %q layer %d: shortcut from %d out of range", m.Name, i, l.ShortcutFrom)
+			}
+			// shapes[src+1] is the source layer's output (src == -1 means
+			// the model input).
+			if shapes[src+1] != cur {
+				return nil, fmt.Errorf("dnn: model %q layer %d: shortcut shape %v != %v",
+					m.Name, i, shapes[src+1], cur)
+			}
+		}
+	}
+	return shapes, nil
+}
+
+// outputShape computes the layer's output shape from its input shape, using
+// same-padding for convolutions.
+func (l Layer) outputShape(in Shape) (Shape, error) {
+	switch l.Kind {
+	case LayerConv:
+		if in.H <= 1 && in.W <= 1 {
+			return Shape{}, fmt.Errorf("conv needs spatial input, got %v", in)
+		}
+		if l.FilterSize <= 0 || l.NumFilters <= 0 || l.Stride <= 0 {
+			return Shape{}, fmt.Errorf("conv hyper-parameters must be positive (size=%d filters=%d stride=%d)",
+				l.FilterSize, l.NumFilters, l.Stride)
+		}
+		h := ceilDiv(in.H, l.Stride)
+		w := ceilDiv(in.W, l.Stride)
+		if h < 1 || w < 1 {
+			return Shape{}, fmt.Errorf("stride %d collapses %v", l.Stride, in)
+		}
+		return Shape{H: h, W: w, C: l.NumFilters}, nil
+	case LayerMaxPool:
+		p := l.PoolSize
+		if p == 0 {
+			p = 2
+		}
+		if in.H < p || in.W < p {
+			return Shape{}, fmt.Errorf("pool window %d larger than input %v", p, in)
+		}
+		return Shape{H: in.H / p, W: in.W / p, C: in.C}, nil
+	case LayerFC:
+		if l.Neurons <= 0 {
+			return Shape{}, fmt.Errorf("fc needs positive neuron count, got %d", l.Neurons)
+		}
+		return Shape{H: 1, W: 1, C: l.Neurons}, nil
+	case LayerRNN:
+		if l.Neurons <= 0 || l.Steps <= 0 {
+			return Shape{}, fmt.Errorf("rnn needs positive hidden (%d) and steps (%d)", l.Neurons, l.Steps)
+		}
+		if in.Elems() < l.Steps {
+			return Shape{}, fmt.Errorf("rnn with %d steps cannot consume input %v", l.Steps, in)
+		}
+		return Shape{H: 1, W: 1, C: l.Neurons}, nil
+	}
+	return Shape{}, fmt.Errorf("unknown layer kind %d", int(l.Kind))
+}
+
+// Params returns the number of trainable weights of the layer given its
+// input shape (excluding biases; Biases returns those).
+func (l Layer) Params(in Shape) int {
+	switch l.Kind {
+	case LayerConv:
+		return l.FilterSize * l.FilterSize * in.C * l.NumFilters
+	case LayerFC:
+		return in.Elems() * l.Neurons
+	case LayerRNN:
+		perStep := in.Elems() / l.Steps
+		return (perStep + l.Neurons) * l.Neurons // shared Wx and Wh
+	default:
+		return 0
+	}
+}
+
+// Biases returns the layer's bias count.
+func (l Layer) Biases() int {
+	switch l.Kind {
+	case LayerConv:
+		return l.NumFilters
+	case LayerFC, LayerRNN:
+		return l.Neurons
+	default:
+		return 0
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

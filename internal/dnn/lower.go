@@ -1,0 +1,50 @@
+package dnn
+
+import "leakydnn/internal/gpu"
+
+// victim kernels launch with enough blocks and threads to saturate any
+// simulated device, as TensorFlow's cuDNN kernels do on real hardware.
+const (
+	victimBlocks          = 256
+	victimThreadsPerBlock = 256
+)
+
+// Kernel lowers the op to a simulated GPU kernel. The kernel's duration is
+// pinned to the cost model's estimate under the given device — the max of
+// its compute time and its efficiency-adjusted bandwidth time — while its
+// counter-visible traffic stays at the raw byte counts.
+func (o *Op) Kernel(cfg gpu.DeviceConfig) gpu.KernelProfile {
+	compute := o.FLOPs / cfg.FLOPsPerNs
+	memory := o.effectiveBytes() / cfg.DRAMBytesPerNs
+	d := compute
+	if memory > d {
+		d = memory
+	}
+	dur := gpu.Nanos(d)
+	if dur < 1 {
+		dur = 1
+	}
+	return gpu.KernelProfile{
+		Name:               o.Kind.String(),
+		FLOPs:              o.FLOPs,
+		ReadBytes:          o.ReadBytes,
+		WriteBytes:         o.WriteBytes,
+		TexBytes:           o.TexBytes,
+		WorkingSetBytes:    o.WorkingSetBytes,
+		TexWorkingSetBytes: o.texWorkingSet(),
+		Blocks:             victimBlocks,
+		ThreadsPerBlock:    victimThreadsPerBlock,
+		FixedDuration:      dur,
+		Tag:                o,
+	}
+}
+
+// IterationDuration returns the exclusive-device execution time of one full
+// iteration of the compiled ops (no contention, no host gaps).
+func IterationDuration(ops []Op, cfg gpu.DeviceConfig) gpu.Nanos {
+	var total gpu.Nanos
+	for i := range ops {
+		total += ops[i].Kernel(cfg).FixedDuration
+	}
+	return total
+}

@@ -1,0 +1,319 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"leakydnn/internal/attack"
+	"leakydnn/internal/cupti"
+	"leakydnn/internal/trace"
+)
+
+// SlowdownAblation quantifies what the slow-down attack buys the spy:
+// samples per victim iteration with and without the eight extra kernels.
+type SlowdownAblation struct {
+	SamplesPerIterWith    float64
+	SamplesPerIterWithout float64
+	Gain                  float64
+}
+
+// AblationSlowdown collects the first tested model's trace with the
+// slow-down attack on and off and compares per-iteration sample yields.
+func AblationSlowdown(sc Scale) (*SlowdownAblation, error) {
+	if len(sc.Tested) == 0 {
+		return nil, fmt.Errorf("eval: no tested models")
+	}
+	with, err := trace.Collect(sc.Tested[0], sc.RunConfig(sc.Seed+400, true))
+	if err != nil {
+		return nil, err
+	}
+	without, err := trace.Collect(sc.Tested[0], sc.RunConfig(sc.Seed+401, false))
+	if err != nil {
+		return nil, err
+	}
+	mean := func(tr *trace.Trace) float64 {
+		counts := tr.SamplesPerIteration()
+		if len(counts) == 0 {
+			return 0
+		}
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		return float64(total) / float64(len(counts))
+	}
+	res := &SlowdownAblation{
+		SamplesPerIterWith:    mean(with),
+		SamplesPerIterWithout: mean(without),
+	}
+	if res.SamplesPerIterWithout > 0 {
+		res.Gain = res.SamplesPerIterWith / res.SamplesPerIterWithout
+	}
+	return res, nil
+}
+
+// Render prints the ablation.
+func (r *SlowdownAblation) Render() string {
+	return fmt.Sprintf("Ablation: slow-down attack sample yield\n"+
+		"  samples/iteration with attack:    %.1f\n"+
+		"  samples/iteration without attack: %.1f\n"+
+		"  gain: %.2fx\n",
+		r.SamplesPerIterWith, r.SamplesPerIterWithout, r.Gain)
+}
+
+// SyntaxAblation compares structure recovery with and without the smoothing
+// and syntax-correction stages (§IV-D).
+type SyntaxAblation struct {
+	Rows []SyntaxAblationRow
+}
+
+// SyntaxAblationRow is one tested model's comparison.
+type SyntaxAblationRow struct {
+	Model                   string
+	RawLayerAcc, RawHPAcc   float64
+	FullLayerAcc, FullHPAcc float64
+}
+
+// AblationSyntax re-derives layers from each tested recovery with the
+// correction stages disabled and compares against the full pipeline.
+func (w *Workbench) AblationSyntax() (*SyntaxAblation, error) {
+	res := &SyntaxAblation{}
+	for _, tr := range w.Tested {
+		rec, err := w.Models.Extract(tr.Samples)
+		if err != nil {
+			return nil, err
+		}
+		// Raw arm: collapse only — no smoothing, no syntax corrections.
+		rawLayers := attack.DeriveLayers(attack.CollapseLetters(rec.Letters))
+		rawLayerAcc, rawHPAcc := attack.LayerAccuracy(rawLayers, tr.Model)
+		fullLayerAcc, fullHPAcc := attack.LayerAccuracy(rec.Layers, tr.Model)
+		res.Rows = append(res.Rows, SyntaxAblationRow{
+			Model:        tr.Model.Name,
+			RawLayerAcc:  rawLayerAcc,
+			RawHPAcc:     rawHPAcc,
+			FullLayerAcc: fullLayerAcc,
+			FullHPAcc:    fullHPAcc,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the ablation.
+func (r *SyntaxAblation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: smoothing + syntax correction\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-20s layers %.1f%% -> %.1f%%, HP %.1f%% -> %.1f%%\n",
+			row.Model, row.RawLayerAcc*100, row.FullLayerAcc*100,
+			row.RawHPAcc*100, row.FullHPAcc*100)
+	}
+	return b.String()
+}
+
+// VotingAblation aggregates Table VII's two arms into the voting ablation.
+type VotingAblation struct {
+	MeanPre, MeanVote float64
+}
+
+// AblationVoting summarizes Table VII's pre-vote/with-vote contrast.
+func (w *Workbench) AblationVoting() (*VotingAblation, error) {
+	t7, err := w.Table7()
+	if err != nil {
+		return nil, err
+	}
+	res := &VotingAblation{}
+	for _, row := range t7.Rows {
+		res.MeanPre += row.OverallPre
+		res.MeanVote += row.OverallVote
+	}
+	if n := float64(len(t7.Rows)); n > 0 {
+		res.MeanPre /= n
+		res.MeanVote /= n
+	}
+	return res, nil
+}
+
+// Render prints the ablation.
+func (r *VotingAblation) Render() string {
+	return fmt.Sprintf("Ablation: cross-iteration voting\n"+
+		"  mean op accuracy pre-vote:  %.1f%%\n"+
+		"  mean op accuracy with vote: %.1f%%\n",
+		r.MeanPre*100, r.MeanVote*100)
+}
+
+// WeightedLossAblation compares Mlong trained with and without the weighted
+// softmax loss of §IV-B.
+type WeightedLossAblation struct {
+	WeightedAcc, UniformAcc float64
+}
+
+// AblationWeightedLoss trains two model sets on the same profiled traces —
+// one with the class-imbalance weighting, one without — and compares voted
+// op accuracy on the first tested trace.
+func AblationWeightedLoss(sc Scale) (*WeightedLossAblation, error) {
+	profiled, err := sc.CollectTraces(sc.Profiled, sc.Seed+100)
+	if err != nil {
+		return nil, err
+	}
+	tested, err := trace.Collect(sc.Tested[0], sc.RunConfig(sc.Seed+900, true))
+	if err != nil {
+		return nil, err
+	}
+	score := func(cfg attack.Config) (float64, error) {
+		models, err := attack.TrainModels(profiled, cfg)
+		if err != nil {
+			return 0, err
+		}
+		rec, err := models.Extract(tested.Samples)
+		if err != nil {
+			return 0, err
+		}
+		truth := attack.LetterTruth(tested.Labels(), rec.Base)
+		_, overall := attack.LetterAccuracy(rec.Letters, truth)
+		return overall, nil
+	}
+
+	weighted, err := score(sc.Attack)
+	if err != nil {
+		return nil, err
+	}
+	uniform := sc.Attack
+	uniform.MinorClassBoost = 1
+	uniformAcc, err := score(uniform)
+	if err != nil {
+		return nil, err
+	}
+	return &WeightedLossAblation{WeightedAcc: weighted, UniformAcc: uniformAcc}, nil
+}
+
+// Render prints the ablation.
+func (r *WeightedLossAblation) Render() string {
+	return fmt.Sprintf("Ablation: weighted softmax loss for Mlong\n"+
+		"  weighted:  %.1f%%\n"+
+		"  uniform:   %.1f%%\n",
+		r.WeightedAcc*100, r.UniformAcc*100)
+}
+
+// CounterGroupAblation compares the attack trained and applied with only
+// one CUPTI counter group enabled against the full three-group selection
+// (§IV "Selecting CUPTI counters").
+type CounterGroupAblation struct {
+	FullAcc, OneGroupAcc float64
+}
+
+// AblationCounterGroups recollects traces and retrains the attack under
+// each counter selection, scoring voted op accuracy on the last tested
+// model.
+func AblationCounterGroups(sc Scale) (*CounterGroupAblation, error) {
+	score := func(events []cupti.Event) (float64, error) {
+		cfgOf := func(seed int64) trace.RunConfig {
+			cfg := sc.RunConfig(seed, true)
+			cfg.Spy.Events = events
+			return cfg
+		}
+		var profiled []*trace.Trace
+		for i, m := range sc.Profiled {
+			tr, err := trace.Collect(m, cfgOf(sc.Seed+500+int64(i)))
+			if err != nil {
+				return 0, err
+			}
+			profiled = append(profiled, tr)
+		}
+		models, err := attack.TrainModels(profiled, sc.Attack)
+		if err != nil {
+			return 0, err
+		}
+		victim, err := trace.Collect(sc.Tested[len(sc.Tested)-1], cfgOf(sc.Seed+550))
+		if err != nil {
+			return 0, err
+		}
+		rec, err := models.Extract(victim.Samples)
+		if err != nil {
+			return 0, err
+		}
+		truth := attack.LetterTruth(victim.Labels(), rec.Base)
+		_, acc := attack.LetterAccuracy(rec.Letters, truth)
+		return acc, nil
+	}
+
+	full, err := score(nil)
+	if err != nil {
+		return nil, err
+	}
+	// Group 2 only: the frame-buffer counters (the strongest single group).
+	oneGroup, err := score([]cupti.Event{
+		cupti.FBSubp0ReadSectors, cupti.FBSubp1ReadSectors,
+		cupti.FBSubp0WriteSectors, cupti.FBSubp1WriteSectors,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CounterGroupAblation{FullAcc: full, OneGroupAcc: oneGroup}, nil
+}
+
+// Render prints the ablation.
+func (r *CounterGroupAblation) Render() string {
+	return fmt.Sprintf("Ablation: CUPTI counter-group selection\n"+
+		"  all 3 groups (10 counters): %.1f%%\n"+
+		"  frame-buffer group only:    %.1f%%\n",
+		r.FullAcc*100, r.OneGroupAcc*100)
+}
+
+// MultiTenantResult measures §VI limitation 5: with more than two users
+// sharing the GPU, kernel execution becomes less deterministic and the
+// attack's accuracy drops.
+type MultiTenantResult struct {
+	TwoTenantAcc   float64
+	ThreeTenantAcc float64
+	FourTenantAcc  float64
+}
+
+// MultiTenant re-attacks the last tested model with 0, 1 and 2 additional
+// background training tenants co-located on the GPU.
+func (w *Workbench) MultiTenant() (*MultiTenantResult, error) {
+	victim := w.Scale.Tested[len(w.Scale.Tested)-1]
+	tenant := w.Scale.Profiled[0]
+
+	score := func(extra int, seed int64) (float64, error) {
+		cfg := w.Scale.RunConfig(seed, true)
+		for i := 0; i < extra; i++ {
+			t := tenant
+			t.Name = fmt.Sprintf("tenant-%d", i)
+			cfg.BackgroundTenants = append(cfg.BackgroundTenants, t)
+		}
+		tr, err := trace.Collect(victim, cfg)
+		if err != nil {
+			return 0, err
+		}
+		rec, err := w.Models.Extract(tr.Samples)
+		if err != nil {
+			return 0, err
+		}
+		truth := attack.LetterTruth(tr.Labels(), rec.Base)
+		_, acc := attack.LetterAccuracy(rec.Letters, truth)
+		return acc, nil
+	}
+
+	two, err := score(0, w.Scale.Seed+9100)
+	if err != nil {
+		return nil, err
+	}
+	three, err := score(1, w.Scale.Seed+9200)
+	if err != nil {
+		return nil, err
+	}
+	four, err := score(2, w.Scale.Seed+9300)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiTenantResult{TwoTenantAcc: two, ThreeTenantAcc: three, FourTenantAcc: four}, nil
+}
+
+// Render prints the multi-tenant degradation.
+func (r *MultiTenantResult) Render() string {
+	return fmt.Sprintf("§VI limitation 5: accuracy vs co-located users\n"+
+		"  victim + spy:                %.1f%%\n"+
+		"  + 1 background tenant:       %.1f%%\n"+
+		"  + 2 background tenants:      %.1f%%\n",
+		r.TwoTenantAcc*100, r.ThreeTenantAcc*100, r.FourTenantAcc*100)
+}

@@ -1,0 +1,276 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"leakydnn/internal/attack"
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/trace"
+	"leakydnn/internal/zoo"
+)
+
+// Table6Result reproduces Table VI: Mgap's NOP/BUSY accuracy per tested
+// model.
+type Table6Result struct {
+	Rows []Table6Row
+}
+
+// Table6Row is one tested model's iteration-splitting accuracy.
+type Table6Row struct {
+	Model            string
+	NOPAcc, BusyAcc  float64
+	NOPN, BusyN      int
+	IterationsFound  int
+	IterationsActual int
+}
+
+// Table6 evaluates the iteration-splitting stage on every tested trace.
+func (w *Workbench) Table6() (*Table6Result, error) {
+	res := &Table6Result{}
+	for _, tr := range w.Tested {
+		feats := attackFeatures(w.Models, tr)
+		split, err := w.Models.SplitIterations(feats)
+		if err != nil {
+			return nil, err
+		}
+		labels := tr.Labels()
+		nopAcc, busyAcc, nopN, busyN := attack.GapAccuracy(split.IsNOP, labels)
+		res.Rows = append(res.Rows, Table6Row{
+			Model:            tr.Model.Name,
+			NOPAcc:           nopAcc,
+			BusyAcc:          busyAcc,
+			NOPN:             nopN,
+			BusyN:            busyN,
+			IterationsFound:  len(split.Valid),
+			IterationsActual: tr.Timeline.Iterations(),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VI: iteration splitting (Mgap) accuracy\n")
+	fmt.Fprintf(&b, "%-20s %-6s %-18s %-18s %s\n", "Model", "Op", "# Ops", "Accuracy", "iters found/actual")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-20s %-6s %-18d %-18.3f %d/%d\n", row.Model, "NOP", row.NOPN, row.NOPAcc, row.IterationsFound, row.IterationsActual)
+		fmt.Fprintf(&b, "%-20s %-6s %-18d %-18.3f\n", "", "BUSY", row.BusyN, row.BusyAcc)
+	}
+	return b.String()
+}
+
+// GapSweepResult reproduces §V-B's robustness sweep: Mgap's NOP accuracy on
+// a VGG-style victim across batch sizes and image sizes.
+type GapSweepResult struct {
+	Rows []GapSweepRow
+}
+
+// GapSweepRow is one (batch, side) configuration.
+type GapSweepRow struct {
+	Batch, Side int
+	NOPAcc      float64
+}
+
+// GapSweep varies the last tested model's batch and input size and measures
+// Mgap's NOP accuracy on each variant.
+func (w *Workbench) GapSweep(batches, sides []int) (*GapSweepResult, error) {
+	if len(w.Scale.Tested) == 0 {
+		return nil, fmt.Errorf("eval: no tested models")
+	}
+	base := w.Scale.Tested[len(w.Scale.Tested)-1]
+	res := &GapSweepResult{}
+	seed := w.Scale.Seed + 3000
+	for _, batch := range batches {
+		for _, side := range sides {
+			variant := zoo.Scale(base, side, batch)
+			variant.Name = fmt.Sprintf("%s-b%d-s%d", base.Name, batch, side)
+			if _, err := variant.Validate(); err != nil {
+				continue // pool depth can exceed tiny inputs; skip illegal combos
+			}
+			seed++
+			tr, err := trace.Collect(variant, w.Scale.RunConfig(seed, true))
+			if err != nil {
+				return nil, err
+			}
+			split, err := w.Models.SplitIterations(attackFeatures(w.Models, tr))
+			if err != nil {
+				return nil, err
+			}
+			nopAcc, _, _, _ := attack.GapAccuracy(split.IsNOP, tr.Labels())
+			res.Rows = append(res.Rows, GapSweepRow{Batch: batch, Side: side, NOPAcc: nopAcc})
+		}
+	}
+	return res, nil
+}
+
+// Render prints the sweep.
+func (r *GapSweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§V-B sweep: Mgap NOP accuracy vs batch and image size\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  batch=%-4d side=%-4d NOP accuracy %.3f\n", row.Batch, row.Side, row.NOPAcc)
+	}
+	return b.String()
+}
+
+// Table7Result reproduces Table VII: per-letter op-inference accuracy,
+// pre-voting and with voting, for every tested model.
+type Table7Result struct {
+	Rows []Table7Row
+}
+
+// Table7Row is one tested model's op-inference accuracy.
+type Table7Row struct {
+	Model                   string
+	PreVote                 map[byte]float64
+	WithVote                map[byte]float64
+	OverallPre, OverallVote float64
+}
+
+// Table7 runs the op-inference stage on every tested trace and scores both
+// arms.
+func (w *Workbench) Table7() (*Table7Result, error) {
+	res := &Table7Result{}
+	for _, tr := range w.Tested {
+		rec, err := w.Models.Extract(tr.Samples)
+		if err != nil {
+			return nil, err
+		}
+		labels := tr.Labels()
+		truth := attack.LetterTruth(labels, rec.Base)
+
+		preLetters := mergeLetters(rec.PreVoteLong[0], rec.PreVoteOp[0])
+		perPre, overallPre := attack.LetterAccuracy(preLetters, truth)
+		perVote, overallVote := attack.LetterAccuracy(rec.Letters, truth)
+		res.Rows = append(res.Rows, Table7Row{
+			Model:       tr.Model.Name,
+			PreVote:     perPre,
+			WithVote:    perVote,
+			OverallPre:  overallPre,
+			OverallVote: overallVote,
+		})
+	}
+	return res, nil
+}
+
+// mergeLetters merges one iteration's Mlong and Mop predictions into letters
+// without voting (the Table VII "pre-voting" arm).
+func mergeLetters(long []int, op []int) []byte {
+	out := make([]byte, len(long))
+	for t := range long {
+		switch dnn.LongClass(long[t]) {
+		case dnn.LongNOP:
+			out[t] = 'N'
+		case dnn.LongConv:
+			out[t] = 'C'
+		case dnn.LongMatMul:
+			out[t] = 'M'
+		default:
+			out[t] = attack.OtherOpLetter(op[t])
+		}
+	}
+	return out
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table7Result) Render() string {
+	letters := []byte{'C', 'M', 'B', 'P', 'R', 'T', 'S'}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VII: op inference accuracy (pre-voting / with voting)\n")
+	fmt.Fprintf(&b, "%-20s", "Model")
+	for _, l := range letters {
+		fmt.Fprintf(&b, " %-12c", l)
+	}
+	fmt.Fprintf(&b, " %-12s\n", "Overall")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-20s", row.Model)
+		for _, l := range letters {
+			pre, okPre := row.PreVote[l]
+			vote, okVote := row.WithVote[l]
+			if !okPre && !okVote {
+				fmt.Fprintf(&b, " %-12s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %3.0f%%/%3.0f%%   ", pre*100, vote*100)
+		}
+		fmt.Fprintf(&b, " %3.1f%%/%3.1f%%\n", row.OverallPre*100, row.OverallVote*100)
+	}
+	return b.String()
+}
+
+// Table9Result reproduces Table IX: end-to-end layer-sequence and
+// hyper-parameter recovery.
+type Table9Result struct {
+	Rows []Table9Row
+}
+
+// Table9Row is one tested model's structure recovery.
+type Table9Row struct {
+	Model            string
+	TrueSignature    string
+	RecoveredOpSeq   string
+	RecoveredLayers  []attack.RecoveredLayer
+	LayerAcc, HPAcc  float64
+	Optimizer        dnn.OptimizerKind
+	TrueOptimizer    dnn.OptimizerKind
+	OptimizerCorrect bool
+}
+
+// Table9 runs the full extraction on every tested trace.
+func (w *Workbench) Table9() (*Table9Result, error) {
+	res := &Table9Result{}
+	for _, tr := range w.Tested {
+		rec, err := w.Models.Extract(tr.Samples)
+		if err != nil {
+			return nil, err
+		}
+		layerAcc, hpAcc := attack.LayerAccuracy(rec.Layers, tr.Model)
+		res.Rows = append(res.Rows, Table9Row{
+			Model:            tr.Model.Name,
+			TrueSignature:    dnn.OpSignature(tr.Ops),
+			RecoveredOpSeq:   rec.OpSeq,
+			RecoveredLayers:  rec.Layers,
+			LayerAcc:         layerAcc,
+			HPAcc:            hpAcc,
+			Optimizer:        rec.Optimizer,
+			TrueOptimizer:    tr.Model.Optimizer,
+			OptimizerCorrect: rec.Optimizer == tr.Model.Optimizer,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table9Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table IX: end-to-end structure recovery\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-20s Accuracy_L=%.1f%% Accuracy_HP=%.1f%% optimizer=%v(true %v)\n",
+			row.Model, row.LayerAcc*100, row.HPAcc*100, row.Optimizer, row.TrueOptimizer)
+		fmt.Fprintf(&b, "  recovered opseq: %s\n", row.RecoveredOpSeq)
+		fmt.Fprintf(&b, "  layers:")
+		for _, l := range row.RecoveredLayers {
+			switch l.Kind {
+			case dnn.LayerConv:
+				fmt.Fprintf(&b, " C%d,%d,%d,%c", l.FilterSize, l.NumFilters, l.Stride, l.Act.Letter())
+			case dnn.LayerFC:
+				fmt.Fprintf(&b, " M%d,%c", l.Neurons, l.Act.Letter())
+			case dnn.LayerMaxPool:
+				fmt.Fprintf(&b, " P")
+			}
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// attackFeatures converts a trace's samples into the scaled feature stream.
+func attackFeatures(m *attack.Models, tr *trace.Trace) [][]float64 {
+	out := make([][]float64, len(tr.Samples))
+	for i, s := range tr.Samples {
+		out[i] = m.Scaler.Transform(attack.Featurize(s))
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"leakydnn/internal/attack"
+	"leakydnn/internal/baseline"
+	"leakydnn/internal/dnn"
+)
+
+// BaselineComparison reproduces the paper's framing comparison (§I, §VII):
+// the prior MPS co-location attack recovers one number — the input layer's
+// neuron count — while MoSConS, from the same victim, recovers the op
+// sequence, layers and hyper-parameters.
+type BaselineComparison struct {
+	Victim string
+	baseline.Comparison
+}
+
+// CompareBaseline runs both attacks against the MLP tested model.
+func (w *Workbench) CompareBaseline() (*BaselineComparison, error) {
+	// The baseline targets an MLP's input layer.
+	var victimTrace = w.Tested[0]
+	victim := victimTrace.Model
+	if len(victim.Layers) == 0 || victim.Layers[0].Kind != dnn.LayerFC {
+		return nil, fmt.Errorf("eval: baseline comparison expects an MLP victim, got %s", victim.Name)
+	}
+	trueNeurons := victim.Layers[0].Neurons
+
+	bcfg := baseline.Config{
+		Device:     w.Scale.Device,
+		Iterations: w.Scale.Iterations,
+		IterGap:    w.Scale.IterGap,
+		TimeScale:  w.Scale.TimeScale,
+		Seed:       w.Scale.Seed + 8000,
+	}
+
+	// Profile the baseline's centroids over candidate neuron counts that
+	// bracket the truth (as the CCS'18 adversary profiles her own models).
+	candidates := []int{trueNeurons / 2, trueNeurons, trueNeurons * 2}
+	profiled := make(map[int][]baseline.Observation, len(candidates))
+	for i, n := range candidates {
+		variant := victim
+		variant.Name = fmt.Sprintf("baseline-prof-%d", n)
+		variant.Layers = append([]dnn.Layer(nil), victim.Layers...)
+		variant.Layers[0].Neurons = n
+		obs, err := baseline.Collect(variant, withSeed(bcfg, bcfg.Seed+int64(i)+1))
+		if err != nil {
+			return nil, err
+		}
+		profiled[n] = obs
+	}
+	model, err := baseline.TrainNeuronCount(profiled)
+	if err != nil {
+		return nil, err
+	}
+
+	victimObs, err := baseline.Collect(victim, withSeed(bcfg, bcfg.Seed+50))
+	if err != nil {
+		return nil, err
+	}
+	predicted, err := model.Predict(victimObs)
+	if err != nil {
+		return nil, err
+	}
+
+	// MoSConS arm: the full extraction on the same victim.
+	rec, err := w.Models.Extract(victimTrace.Samples)
+	if err != nil {
+		return nil, err
+	}
+	layerAcc, _ := attack.LayerAccuracy(rec.Layers, victim)
+
+	iters := make(map[int]bool)
+	for _, o := range victimObs {
+		iters[o.Iteration] = true
+	}
+	perIter := 0.0
+	if len(iters) > 0 {
+		perIter = float64(len(victimObs)) / float64(len(iters))
+	}
+
+	return &BaselineComparison{
+		Victim: victim.Name,
+		Comparison: baseline.Comparison{
+			BaselineNeurons:        predicted,
+			BaselineCorrect:        predicted == trueNeurons,
+			BaselineSamplesPerIter: perIter,
+			MoSConSOpSeq:           rec.OpSeq,
+			MoSConSLayerAcc:        layerAcc,
+		},
+	}, nil
+}
+
+func withSeed(cfg baseline.Config, seed int64) baseline.Config {
+	cfg.Seed = seed
+	return cfg
+}
+
+// Render prints the comparison.
+func (r *BaselineComparison) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Baseline comparison (CCS'18 MPS co-location vs MoSConS) on %s\n", r.Victim)
+	fmt.Fprintf(&b, "  baseline recovers:  input-layer neurons = %d (correct: %v), %.1f samples/iteration\n",
+		r.BaselineNeurons, r.BaselineCorrect, r.BaselineSamplesPerIter)
+	fmt.Fprintf(&b, "  MoSConS recovers:   op sequence %s, layer accuracy %.1f%%\n",
+		r.MoSConSOpSeq, r.MoSConSLayerAcc*100)
+	return b.String()
+}

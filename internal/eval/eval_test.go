@@ -1,0 +1,456 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"leakydnn/internal/attack"
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/spy"
+)
+
+func TestScalesAreWellFormed(t *testing.T) {
+	for _, sc := range []Scale{Tiny(), Mid(), Paper()} {
+		if err := sc.Device.Validate(); err != nil {
+			t.Errorf("scale %s device invalid: %v", sc.Name, err)
+		}
+		if err := sc.Attack.Validate(); err != nil {
+			t.Errorf("scale %s attack config invalid: %v", sc.Name, err)
+		}
+		if len(sc.Profiled) == 0 || len(sc.Tested) == 0 {
+			t.Errorf("scale %s lacks models", sc.Name)
+		}
+		for _, m := range append(append([]dnn.Model{}, sc.Profiled...), sc.Tested...) {
+			if _, err := m.Validate(); err != nil {
+				t.Errorf("scale %s model %s invalid: %v", sc.Name, m.Name, err)
+			}
+		}
+	}
+}
+
+// Table I's headline: Conv200 is the best probe — largest readings, lowest
+// relative deviation among the conv-style kernels.
+func TestTable1Conv200Dominates(t *testing.T) {
+	res, err := Table1(Tiny(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("Table I has %d rows, want 5", len(res.Rows))
+	}
+	byKind := make(map[spy.Kind]Table1Row)
+	for _, row := range res.Rows {
+		byKind[row.Spy] = row
+	}
+	conv200 := byKind[spy.Conv200]
+	for _, kind := range []spy.Kind{spy.VectorAdd, spy.VectorMul, spy.MatMul, spy.Conv100} {
+		other := byKind[kind]
+		if other.Event1.Mean >= conv200.Event1.Mean {
+			t.Errorf("%v Event1 mean %.1f >= Conv200's %.1f", kind, other.Event1.Mean, conv200.Event1.Mean)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "Conv200") {
+		t.Error("render lacks Conv200 row")
+	}
+}
+
+// Table II's headline: victim ops are distinguishable through the spy's
+// counters, and the NOP row stands far apart (in the pilot's single-probe
+// setting the idle-victim readings are the largest, as in the paper).
+func TestTable2OpsDistinguishable(t *testing.T) {
+	res, err := Table2(Tiny(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("Table II has %d rows, want 6", len(res.Rows))
+	}
+	nop, ok := res.Row("NOP")
+	if !ok {
+		t.Fatal("missing NOP row")
+	}
+	for _, row := range res.Rows {
+		if row.Victim == "NOP" {
+			continue
+		}
+		busy := row.Event1.Mean + row.Event2.Mean
+		idle := nop.Event1.Mean + nop.Event2.Mean
+		if idle <= busy*1.3 {
+			t.Errorf("NOP readings (%.1f) not clearly above %s readings (%.1f)", idle, row.Victim, busy)
+		}
+	}
+	conv, _ := res.Row("Conv2D")
+	relu, _ := res.Row("ReLU")
+	if conv.Event2.Mean == relu.Event2.Mean {
+		t.Error("Conv2D and ReLU produce identical Event2 readings")
+	}
+}
+
+// Figures 2 vs 3: MPS starves the spy to about one sample per iteration;
+// time-slicing yields many.
+func TestFigSamplingContrast(t *testing.T) {
+	sc := Tiny()
+	sc.Iterations = 4
+	fig2, err := FigSampling(sc, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig3, err := FigSampling(sc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig2.MeanPerIteration > 2 {
+		t.Errorf("MPS sampling = %.2f/iteration, want <= 2 (paper Fig. 2: one)", fig2.MeanPerIteration)
+	}
+	if fig3.MeanPerIteration < fig2.MeanPerIteration*3 {
+		t.Errorf("time-sliced sampling %.2f not well above MPS %.2f (Fig. 3 vs Fig. 2)",
+			fig3.MeanPerIteration, fig2.MeanPerIteration)
+	}
+	if !strings.Contains(fig2.Render(), "Figure 2") || !strings.Contains(fig3.Render(), "Figure 3") {
+		t.Error("renders mislabeled")
+	}
+}
+
+// The workbench-based experiments share one training run.
+func TestWorkbenchTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workbench training is expensive")
+	}
+	w, err := NewWorkbench(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t6, err := w.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6.Rows) != 3 {
+		t.Fatalf("Table VI has %d rows, want 3", len(t6.Rows))
+	}
+	for _, row := range t6.Rows {
+		t.Logf("Table VI %s: NOP %.2f BUSY %.2f", row.Model, row.NOPAcc, row.BusyAcc)
+		if row.BusyAcc < 0.8 {
+			t.Errorf("%s BUSY accuracy %.3f < 0.8", row.Model, row.BusyAcc)
+		}
+		if row.NOPAcc < 0.6 {
+			t.Errorf("%s NOP accuracy %.3f < 0.6", row.Model, row.NOPAcc)
+		}
+	}
+
+	t7, err := w.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meanVote float64
+	for _, row := range t7.Rows {
+		t.Logf("Table VII %s: pre %.1f%% voted %.1f%%", row.Model, row.OverallPre*100, row.OverallVote*100)
+		meanVote += row.OverallVote
+	}
+	meanVote /= float64(len(t7.Rows))
+	if meanVote < 0.6 {
+		t.Errorf("mean voted op accuracy %.3f < 0.6", meanVote)
+	}
+
+	t9, err := w.Table9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meanLayer float64
+	for _, row := range t9.Rows {
+		t.Logf("Table IX %s: layers %.1f%% hp %.1f%% opseq %s",
+			row.Model, row.LayerAcc*100, row.HPAcc*100, row.RecoveredOpSeq)
+		meanLayer += row.LayerAcc
+	}
+	meanLayer /= float64(len(t9.Rows))
+	if meanLayer < 0.5 {
+		t.Errorf("mean layer accuracy %.3f < 0.5", meanLayer)
+	}
+
+	// Renders must be non-empty and mention every model.
+	for _, s := range []string{t6.Render(), t7.Render(), t9.Render()} {
+		if !strings.Contains(s, "tiny-tested-vgg") {
+			t.Error("render missing tested model")
+		}
+	}
+
+	// Syntax ablation re-uses the workbench.
+	abl, err := w.AblationSyntax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(abl.Rows) != 3 {
+		t.Fatalf("syntax ablation has %d rows", len(abl.Rows))
+	}
+
+	voting, err := w.AblationVoting()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if voting.MeanVote <= 0 {
+		t.Error("voting ablation produced zero accuracy")
+	}
+}
+
+func TestTable8MiniSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hyper-parameter sweep is expensive")
+	}
+	sc := Tiny()
+	sc.Iterations = 5
+	res, err := Table8(sc, []attack.HPKind{attack.HPStride, attack.HPOptimizer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("Table VIII mini has %d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		t.Logf("Table VIII %s: %.1f%% (%d/%d)", row.Kind, row.Accuracy*100, row.Correct, row.Total)
+		if row.Total == 0 {
+			t.Errorf("%s evaluated zero positions", row.Kind)
+		}
+		if row.Accuracy < 0.5 {
+			t.Errorf("%s accuracy %.3f < 0.5", row.Kind, row.Accuracy)
+		}
+	}
+}
+
+func TestSlowdownImpact(t *testing.T) {
+	res, err := SlowdownImpact(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("slowdown: baseline=%v one=%v attack=%v spy=%.2fx",
+		res.BaselineIter, res.OneKernelIter, res.AttackIter, res.SpySlowdown)
+	if res.VictimSlowdownAttack < 3 {
+		t.Errorf("attack slow-down %.2fx < 3x (paper: 17-48x)", res.VictimSlowdownAttack)
+	}
+	if res.VictimSlowdown1 >= res.VictimSlowdownAttack {
+		t.Errorf("one-kernel slow-down %.2fx not below attack's %.2fx",
+			res.VictimSlowdown1, res.VictimSlowdownAttack)
+	}
+	if res.SpySlowdown > 3 {
+		t.Errorf("spy slow-down %.2fx > 3x (paper: <3x)", res.SpySlowdown)
+	}
+	if !strings.Contains(res.Render(), "slow-down") {
+		t.Error("render malformed")
+	}
+}
+
+func TestSlowdownSweepShowsUpperBound(t *testing.T) {
+	sc := Tiny()
+	sc.Iterations = 3
+	points, err := SlowdownSweep(sc, []int{1, 8}, []int{32}, []int{256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("sweep returned %d points, want 2", len(points))
+	}
+	if points[1].VictimSlowdown <= points[0].VictimSlowdown {
+		t.Errorf("8 kernels (%.2fx) not slower than 1 kernel (%.2fx)",
+			points[1].VictimSlowdown, points[0].VictimSlowdown)
+	}
+	if RenderSweep(points) == "" {
+		t.Error("sweep render empty")
+	}
+}
+
+func TestAblationSlowdownSampleYield(t *testing.T) {
+	res, err := AblationSlowdown(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gain <= 1 {
+		t.Errorf("slow-down attack gain %.2fx, want > 1x", res.Gain)
+	}
+}
+
+func TestGapSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep needs a trained workbench")
+	}
+	w, err := NewWorkbench(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.GapSweep([]int{8, 16}, []int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("gap sweep has %d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		t.Logf("gap sweep batch=%d side=%d nop=%.2f", row.Batch, row.Side, row.NOPAcc)
+		if row.NOPAcc < 0.5 {
+			t.Errorf("batch=%d side=%d NOP accuracy %.3f < 0.5", row.Batch, row.Side, row.NOPAcc)
+		}
+	}
+}
+
+// The §VI defenses must measurably degrade the attack: strong counter
+// quantization and the hardened scheduler should each cut op accuracy.
+func TestEvaluateDefenses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("defense evaluation needs a trained workbench")
+	}
+	w, err := NewWorkbench(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.EvaluateDefenses(2000, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("defense eval produced %d rows, want 4", len(res.Rows))
+	}
+	byName := map[string]DefenseRow{}
+	for _, row := range res.Rows {
+		t.Logf("defense %-24s accuracy %.1f%% samples/iter %.1f",
+			row.Defense, row.LetterAccuracy*100, row.SamplesPerIter)
+		byName[row.Defense] = row
+	}
+	baseline := res.Rows[0].LetterAccuracy
+	if baseline < 0.5 {
+		t.Fatalf("undefended baseline accuracy %.3f too low to evaluate defenses", baseline)
+	}
+	for _, row := range res.Rows[1:] {
+		if row.LetterAccuracy >= baseline {
+			t.Errorf("defense %s did not reduce accuracy (%.3f >= %.3f)",
+				row.Defense, row.LetterAccuracy, baseline)
+		}
+	}
+	hard, ok := byName["hardened-scheduler"]
+	if !ok {
+		t.Fatal("missing hardened-scheduler row")
+	}
+	if hard.SamplesPerIter >= res.Rows[0].SamplesPerIter {
+		t.Errorf("hardened scheduler did not starve the sampler: %.1f >= %.1f",
+			hard.SamplesPerIter, res.Rows[0].SamplesPerIter)
+	}
+	if !strings.Contains(res.Render(), "hardened-scheduler") {
+		t.Error("render missing defense rows")
+	}
+}
+
+// The baseline comparison: the MPS channel recovers at most the input
+// layer's neuron count while MoSConS recovers the structure.
+func TestCompareBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline comparison needs a trained workbench")
+	}
+	w, err := NewWorkbench(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.CompareBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.Render())
+	if res.BaselineSamplesPerIter > 2 {
+		t.Errorf("baseline channel yielded %.1f samples/iteration; MPS should give ~1",
+			res.BaselineSamplesPerIter)
+	}
+	if res.MoSConSOpSeq == "" {
+		t.Error("MoSConS recovered no op sequence")
+	}
+	if !res.BaselineCorrect {
+		t.Log("note: baseline misidentified the neuron count on this seed")
+	}
+}
+
+// Disabling counter groups must not improve the attack (§IV's rationale for
+// selecting all three informative groups).
+func TestAblationCounterGroups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("counter-group ablation trains two attacks")
+	}
+	res, err := AblationCounterGroups(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.Render())
+	if res.FullAcc <= 0 || res.OneGroupAcc <= 0 {
+		t.Fatal("degenerate accuracies")
+	}
+	if res.OneGroupAcc > res.FullAcc+0.05 {
+		t.Errorf("single group (%.3f) outperformed full selection (%.3f)",
+			res.OneGroupAcc, res.FullAcc)
+	}
+}
+
+// More co-located users degrade the attack (§VI limitation 5).
+func TestMultiTenantDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-tenant needs a trained workbench")
+	}
+	w, err := NewWorkbench(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.MultiTenant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.Render())
+	if res.TwoTenantAcc <= 0 {
+		t.Fatal("degenerate two-tenant accuracy")
+	}
+	if res.FourTenantAcc >= res.TwoTenantAcc {
+		t.Errorf("extra tenants did not degrade the attack: 2-tenant %.3f vs 4-tenant %.3f",
+			res.TwoTenantAcc, res.FourTenantAcc)
+	}
+}
+
+// §IV-C: the side channel places zero shortcuts; the ResNet heuristic finds
+// them from the recovered backbone.
+func TestStudyShortcuts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shortcut study needs a trained workbench")
+	}
+	w, err := NewWorkbench(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.StudyShortcuts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.Render())
+	if res.RawShortcuts != 0 {
+		t.Errorf("side channel placed %d shortcuts; §IV-C says it cannot see any", res.RawShortcuts)
+	}
+	if res.TrueShortcuts == 0 {
+		t.Fatal("victim has no shortcuts to study")
+	}
+	if res.HeuristicShortcuts == 0 {
+		t.Error("ResNet heuristic placed no shortcuts at all")
+	}
+}
+
+// §VI limitation 6: a recurrent victim's recovered structure must NOT match
+// reality — the attack sees the unrolled cell as a deep MLP.
+func TestStudyRNN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RNN study needs a trained workbench")
+	}
+	w, err := NewWorkbench(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.StudyRNN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.Render())
+	if res.LayerAcc > 0.6 {
+		t.Errorf("layer accuracy %.3f on an RNN; the paper expects MoSConS to fail here", res.LayerAcc)
+	}
+	if res.RecoveredFC < 2 {
+		t.Errorf("expected the unrolled cell to masquerade as multiple FC layers, got %d", res.RecoveredFC)
+	}
+}

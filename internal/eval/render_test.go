@@ -1,0 +1,123 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"leakydnn/internal/attack"
+	"leakydnn/internal/baseline"
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/spy"
+)
+
+// Renders must be stable, self-describing text blocks — cmd/paperbench's
+// entire output contract.
+func TestRendersAreSelfDescribing(t *testing.T) {
+	tests := []struct {
+		name   string
+		render string
+		want   []string
+	}{
+		{
+			name: "table1",
+			render: (&Table1Result{Rows: []Table1Row{
+				{Spy: spy.Conv200, Event1: CellStat{Mean: 17.8, Std: 1.4}, Event2: CellStat{Mean: 115.9, Std: 8.7}},
+			}}).Render(),
+			want: []string{"Table I", "Conv200", "17.80(1.40)"},
+		},
+		{
+			name: "table2",
+			render: (&Table2Result{Rows: []Table2Row{
+				{Victim: "NOP", Event1: CellStat{Mean: 243}, Event2: CellStat{Mean: 524}},
+			}}).Render(),
+			want: []string{"Table II", "NOP", "243.00"},
+		},
+		{
+			name:   "fig2",
+			render: (&FigSamplingResult{Mode: "MPS", PerIteration: []int{1, 1}, MeanPerIteration: 1}).Render(),
+			want:   []string{"Figure 2", "MPS", "mean 1.00"},
+		},
+		{
+			name:   "fig3",
+			render: (&FigSamplingResult{Mode: "time-sliced", MeanPerIteration: 12.1}).Render(),
+			want:   []string{"Figure 3", "time-sliced"},
+		},
+		{
+			name: "table6",
+			render: (&Table6Result{Rows: []Table6Row{
+				{Model: "vgg16", NOPAcc: 0.98, BusyAcc: 0.99, NOPN: 88, BusyN: 1400, IterationsFound: 8, IterationsActual: 8},
+			}}).Render(),
+			want: []string{"Table VI", "vgg16", "NOP", "BUSY", "8/8"},
+		},
+		{
+			name: "table7",
+			render: (&Table7Result{Rows: []Table7Row{
+				{Model: "zfnet", PreVote: map[byte]float64{'C': 0.83}, WithVote: map[byte]float64{'C': 0.83},
+					OverallPre: 0.897, OverallVote: 0.846},
+			}}).Render(),
+			want: []string{"Table VII", "zfnet", "89.7%"},
+		},
+		{
+			name: "table8",
+			render: (&Table8Result{Rows: []Table8Row{
+				{Kind: attack.HPFilterSize, Accuracy: 0.895, Correct: 272, Total: 304, VocabularySize: 4},
+			}}).Render(),
+			want: []string{"Table VIII", "filter-size", "89.5%", "272/304"},
+		},
+		{
+			name: "table9",
+			render: (&Table9Result{Rows: []Table9Row{
+				{Model: "mlp", RecoveredOpSeq: "MSMTMO", LayerAcc: 1, HPAcc: 0.5,
+					Optimizer: dnn.OptimizerGD, TrueOptimizer: dnn.OptimizerGD,
+					RecoveredLayers: []attack.RecoveredLayer{{Kind: dnn.LayerFC, Neurons: 64, Act: dnn.ActReLU}}},
+			}}).Render(),
+			want: []string{"Table IX", "mlp", "MSMTMO", "Accuracy_L=100.0%", "M64,R"},
+		},
+		{
+			name: "defense",
+			render: (&DefenseResult{Rows: []DefenseRow{
+				{Defense: "none", LetterAccuracy: 0.73, SamplesPerIter: 175},
+			}}).Render(),
+			want: []string{"§VI", "none", "73.0%"},
+		},
+		{
+			name: "baseline",
+			render: (&BaselineComparison{Victim: "mlp", Comparison: baseline.Comparison{
+				BaselineNeurons: 64, BaselineCorrect: true, BaselineSamplesPerIter: 1,
+				MoSConSOpSeq: "MSMTMO", MoSConSLayerAcc: 1,
+			}}).Render(),
+			want: []string{"Baseline comparison", "neurons = 64", "MoSConS recovers"},
+		},
+		{
+			name: "shortcut",
+			render: (&ShortcutStudy{Victim: "resnet", RecoveredOpSeq: "CBR",
+				TrueShortcuts: 2, HeuristicShortcuts: 1, HeuristicCorrect: 1}).Render(),
+			want: []string{"shortcut study", "0 (of 2 true)", "heuristic placed 1"},
+		},
+		{
+			name: "rnn",
+			render: (&RNNStudy{Victim: "rnn", TrueLayers: 2, RecoveredLayers: 5,
+				RecoveredFC: 5, LayerAcc: 0.2, RecoveredOpSeq: "MTMTM"}).Render(),
+			want: []string{"limitation 6", "5 layers (5 FC)", "masquerades"},
+		},
+		{
+			name:   "multitenant",
+			render: (&MultiTenantResult{TwoTenantAcc: 0.75, ThreeTenantAcc: 0.48, FourTenantAcc: 0.3}).Render(),
+			want:   []string{"limitation 5", "75.0%", "30.0%", "background tenant"},
+		},
+		{
+			name:   "countergroups",
+			render: (&CounterGroupAblation{FullAcc: 0.778, OneGroupAcc: 0.714}).Render(),
+			want:   []string{"counter-group", "77.8%", "71.4%"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for _, frag := range tt.want {
+				if !strings.Contains(tt.render, frag) {
+					t.Errorf("render missing %q:\n%s", frag, tt.render)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,171 @@
+// Package eval implements the paper's evaluation: one runner per table and
+// figure of §III and §V, plus the ablation studies DESIGN.md calls out. Each
+// runner returns a typed result whose Render method prints the same rows the
+// paper reports, so `cmd/paperbench` (and the benchmarks in bench_test.go)
+// can regenerate every artifact.
+package eval
+
+import (
+	"fmt"
+
+	"leakydnn/internal/attack"
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/gpu"
+	"leakydnn/internal/spy"
+	"leakydnn/internal/tfsim"
+	"leakydnn/internal/trace"
+	"leakydnn/internal/zoo"
+)
+
+// Scale fixes the experiment size: the simulated platform's time constants,
+// the victim workloads, and the attack configuration. The paper's absolute
+// scale (GTX 1080 Ti time constants, full ImageNet models, LSTM-256) is
+// available but slow in pure Go; the Tiny and Mid scales shrink time and
+// models in lockstep, preserving every ratio the side channel depends on.
+type Scale struct {
+	Name string
+	// TimeScale multiplies the scheduler's time constants and the spy
+	// kernels' durations.
+	TimeScale float64
+	// Device is the simulated GPU (already time-scaled).
+	Device gpu.DeviceConfig
+	// Iterations of victim training per collected trace.
+	Iterations int
+	// IterGap is the host pause between iterations.
+	IterGap gpu.Nanos
+	// SamplePeriod is the spy's CUPTI polling period.
+	SamplePeriod gpu.Nanos
+	// Profiled and Tested are the adversary's and victim's model sets.
+	Profiled, Tested []dnn.Model
+	// Attack configures MoSConS.
+	Attack attack.Config
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Tiny returns the unit-test scale: 1/500 time constants and the tiny zoo.
+func Tiny() Scale {
+	const ts = 0.002
+	return Scale{
+		Name:         "tiny",
+		TimeScale:    ts,
+		Device:       gpu.DefaultDeviceConfig().ScaledTime(ts),
+		Iterations:   8,
+		IterGap:      120 * gpu.Microsecond,
+		SamplePeriod: 20 * gpu.Microsecond,
+		Profiled:     zoo.TinyProfiledModels(),
+		Tested:       zoo.TinyTestedModels(),
+		Attack:       attack.FastConfig(),
+		Seed:         1,
+	}
+}
+
+// Mid returns an intermediate scale: the paper's model families scaled to
+// 64x64 inputs and small batches, 1/100 time constants, mid-size LSTMs.
+func Mid() Scale {
+	const ts = 0.01
+	shrink := func(ms []dnn.Model) []dnn.Model {
+		out := make([]dnn.Model, len(ms))
+		for i, m := range ms {
+			out[i] = zoo.Scale(m, 64, 8)
+		}
+		return out
+	}
+	cfg := attack.DefaultConfig()
+	cfg.LongHidden = 96
+	cfg.OpHidden = 96
+	cfg.VoteHidden = 32
+	cfg.HPHidden = 48
+	cfg.Epochs = 40
+	cfg.LearningRate = 5e-3
+	cfg.THGap = 3
+	return Scale{
+		Name:         "mid",
+		TimeScale:    ts,
+		Device:       gpu.DefaultDeviceConfig().ScaledTime(ts),
+		Iterations:   8,
+		IterGap:      2 * gpu.Millisecond,
+		SamplePeriod: 300 * gpu.Microsecond,
+		Profiled:     shrink(zoo.ProfiledModels()),
+		Tested:       shrink(zoo.TestedModels()),
+		Attack:       cfg,
+		Seed:         1,
+	}
+}
+
+// Paper returns the full paper scale: GTX 1080 Ti time constants, the
+// unshrunk Table V/IX models, LSTM-256 inference models. Running it
+// regenerates the evaluation at the authors' platform scale; expect long
+// wall-clock times in pure Go.
+func Paper() Scale {
+	return Scale{
+		Name:         "paper",
+		TimeScale:    1,
+		Device:       gpu.DefaultDeviceConfig(),
+		Iterations:   10,
+		IterGap:      150 * gpu.Millisecond,
+		SamplePeriod: 16 * gpu.Millisecond,
+		Profiled:     zoo.ProfiledModels(),
+		Tested:       zoo.TestedModels(),
+		Attack:       attack.DefaultConfig(),
+		Seed:         1,
+	}
+}
+
+// RunConfig builds the trace collection configuration for one victim model.
+func (sc Scale) RunConfig(seed int64, slowdown bool) trace.RunConfig {
+	return trace.RunConfig{
+		Device: sc.Device,
+		Session: tfsim.Config{
+			Iterations: sc.Iterations,
+			IterGap:    sc.IterGap,
+		},
+		Spy: spy.Config{
+			Probe:        spy.Conv200,
+			Slowdown:     slowdown,
+			TimeScale:    sc.TimeScale,
+			SamplePeriod: sc.SamplePeriod,
+		},
+		Seed: seed,
+	}
+}
+
+// CollectTraces runs the spy against every model and returns the traces.
+func (sc Scale) CollectTraces(models []dnn.Model, seedBase int64) ([]*trace.Trace, error) {
+	out := make([]*trace.Trace, 0, len(models))
+	for i, m := range models {
+		tr, err := trace.Collect(m, sc.RunConfig(seedBase+int64(i), true))
+		if err != nil {
+			return nil, fmt.Errorf("eval: collect %s: %w", m.Name, err)
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+// Workbench couples one trained set of MoSConS models with the tested
+// traces, so Tables VI, VII and IX share a single (expensive) training run.
+type Workbench struct {
+	Scale    Scale
+	Models   *attack.Models
+	Profiled []*trace.Trace
+	Tested   []*trace.Trace
+}
+
+// NewWorkbench collects the profiled and tested traces and trains the full
+// MoSConS model set.
+func NewWorkbench(sc Scale) (*Workbench, error) {
+	profiled, err := sc.CollectTraces(sc.Profiled, sc.Seed+100)
+	if err != nil {
+		return nil, err
+	}
+	tested, err := sc.CollectTraces(sc.Tested, sc.Seed+900)
+	if err != nil {
+		return nil, err
+	}
+	models, err := attack.TrainModels(profiled, sc.Attack)
+	if err != nil {
+		return nil, err
+	}
+	return &Workbench{Scale: sc, Models: models, Profiled: profiled, Tested: tested}, nil
+}

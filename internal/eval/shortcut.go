@@ -1,0 +1,142 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"leakydnn/internal/attack"
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/trace"
+	"leakydnn/internal/zoo"
+)
+
+// ShortcutStudy reproduces §IV-C's shortcut discussion: MoSConS attacks a
+// residual network, the raw recovery contains no shortcut placements (the
+// add ops are indistinguishable from BiasAdds), and the paper's ResNet
+// domain-knowledge heuristic then places them.
+type ShortcutStudy struct {
+	Victim string
+	// RecoveredOpSeq shows the ambiguity: residual adds appear as extra 'B's.
+	RecoveredOpSeq string
+	// RawShortcuts counts shortcuts in the recovery before the heuristic
+	// (always 0: the channel cannot see them).
+	RawShortcuts int
+	// HeuristicShortcuts counts shortcuts the ResNet heuristic placed and
+	// HeuristicCorrect how many sit on layers that truly carry one.
+	HeuristicShortcuts int
+	HeuristicCorrect   int
+	TrueShortcuts      int
+	// ConvLayerAcc is the backbone recovery quality the heuristic builds on.
+	ConvLayerAcc float64
+}
+
+// StudyShortcuts attacks the tiny ResNet with the workbench's trained
+// models and evaluates the §IV-C heuristic.
+func (w *Workbench) StudyShortcuts() (*ShortcutStudy, error) {
+	victim := zoo.TinyResNet()
+	tr, err := trace.Collect(victim, w.Scale.RunConfig(w.Scale.Seed+9500, true))
+	if err != nil {
+		return nil, err
+	}
+	rec, err := w.Models.Extract(tr.Samples)
+	if err != nil {
+		return nil, err
+	}
+
+	study := &ShortcutStudy{
+		Victim:         victim.Name,
+		RecoveredOpSeq: rec.OpSeq,
+	}
+	for _, l := range rec.Layers {
+		if l.ShortcutFrom != 0 {
+			study.RawShortcuts++
+		}
+	}
+
+	withHeuristic := attack.ApplyResNetHeuristic(rec.Layers)
+	n := len(victim.Layers)
+	if len(withHeuristic) < n {
+		n = len(withHeuristic)
+	}
+	for i := 0; i < n; i++ {
+		if withHeuristic[i].ShortcutFrom > 0 {
+			study.HeuristicShortcuts++
+			if victim.Layers[i].ShortcutFrom > 0 {
+				study.HeuristicCorrect++
+			}
+		}
+	}
+	for _, l := range victim.Layers {
+		if l.ShortcutFrom > 0 {
+			study.TrueShortcuts++
+		}
+	}
+	layerAcc, _ := attack.LayerAccuracy(rec.Layers, victim)
+	study.ConvLayerAcc = layerAcc
+	return study, nil
+}
+
+// Render prints the study.
+func (r *ShortcutStudy) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§IV-C shortcut study on %s\n", r.Victim)
+	fmt.Fprintf(&b, "  recovered opseq: %s\n", r.RecoveredOpSeq)
+	fmt.Fprintf(&b, "  shortcuts visible to the side channel: %d (of %d true)\n",
+		r.RawShortcuts, r.TrueShortcuts)
+	fmt.Fprintf(&b, "  ResNet heuristic placed %d shortcuts, %d on truly-shortcut layers\n",
+		r.HeuristicShortcuts, r.HeuristicCorrect)
+	fmt.Fprintf(&b, "  backbone layer accuracy: %.1f%%\n", r.ConvLayerAcc*100)
+	return b.String()
+}
+
+// RNNStudy reproduces §VI limitation 6: MoSConS attacks a recurrent model
+// and the recovered structure bears little resemblance to the true one —
+// the unrolled cell's repeated MatMul/Tanh pairs parse as a stack of
+// fully-connected layers.
+type RNNStudy struct {
+	Victim          string
+	TrueLayers      int
+	RecoveredLayers int
+	RecoveredFC     int
+	LayerAcc        float64
+	RecoveredOpSeq  string
+}
+
+// StudyRNN attacks the tiny RNN with the workbench's trained models.
+func (w *Workbench) StudyRNN() (*RNNStudy, error) {
+	victim := zoo.TinyRNN()
+	tr, err := trace.Collect(victim, w.Scale.RunConfig(w.Scale.Seed+9600, true))
+	if err != nil {
+		return nil, err
+	}
+	rec, err := w.Models.Extract(tr.Samples)
+	if err != nil {
+		return nil, err
+	}
+	layerAcc, _ := attack.LayerAccuracy(rec.Layers, victim)
+	study := &RNNStudy{
+		Victim:          victim.Name,
+		TrueLayers:      len(victim.Layers),
+		RecoveredLayers: len(rec.Layers),
+		LayerAcc:        layerAcc,
+		RecoveredOpSeq:  rec.OpSeq,
+	}
+	for _, l := range rec.Layers {
+		if l.Kind == dnn.LayerFC {
+			study.RecoveredFC++
+		}
+	}
+	return study, nil
+}
+
+// Render prints the study.
+func (r *RNNStudy) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§VI limitation 6: MoSConS vs a recurrent victim (%s)\n", r.Victim)
+	fmt.Fprintf(&b, "  true layers: %d (1 RNN + 1 FC); recovered: %d layers (%d FC)\n",
+		r.TrueLayers, r.RecoveredLayers, r.RecoveredFC)
+	fmt.Fprintf(&b, "  recovered opseq: %s\n", r.RecoveredOpSeq)
+	fmt.Fprintf(&b, "  layer accuracy: %.1f%% — the unrolled cell masquerades as an MLP\n",
+		r.LayerAcc*100)
+	return b.String()
+}

@@ -1,0 +1,282 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"leakydnn/internal/gpu"
+	"leakydnn/internal/spy"
+	"leakydnn/internal/tfsim"
+)
+
+// SlowdownResult reproduces §V-F: the victim's per-iteration wall time with
+// no spy, with a single probe kernel, and under the full eight-kernel
+// slow-down attack, plus the spy's own throughput degradation.
+type SlowdownResult struct {
+	// BaselineIter is the victim's iteration wall time alone.
+	BaselineIter gpu.Nanos
+	// OneKernelIter is the iteration wall time with just the probe.
+	OneKernelIter gpu.Nanos
+	// AttackIter is the iteration wall time under the full attack.
+	AttackIter gpu.Nanos
+	// VictimSlowdown1 and VictimSlowdownAttack are the wall-time ratios.
+	VictimSlowdown1, VictimSlowdownAttack float64
+	// SpySlowdown is the spy's aggregate throughput degradation caused by
+	// the victim (paper: < 3x).
+	SpySlowdown float64
+}
+
+// victimIterTime runs the first tested model with the given spy deployment
+// and returns the mean per-iteration wall time.
+func (sc Scale) victimIterTime(slowdown bool, withSpy bool, seed int64) (gpu.Nanos, error) {
+	sess, err := tfsim.NewSession(sc.Tested[0], tfsim.Config{
+		Iterations: sc.Iterations,
+		IterGap:    sc.IterGap,
+	}, sc.Device)
+	if err != nil {
+		return 0, err
+	}
+	eng, err := gpu.NewEngine(sc.Device, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return 0, err
+	}
+	tl := &tfsim.Timeline{}
+	eng.OnKernelEnd = tl.Observe
+	eng.AddChannel(trace2VictimCtx, sess.Source())
+	if withSpy {
+		prog, err := spy.NewProgram(spy.Config{
+			Ctx:          trace2SpyCtx,
+			Probe:        spy.Conv200,
+			Slowdown:     slowdown,
+			TimeScale:    sc.TimeScale,
+			SamplePeriod: sc.SamplePeriod,
+		})
+		if err != nil {
+			return 0, err
+		}
+		prog.AttachTimeSliced(eng)
+	}
+	horizon := (sess.IterationDuration() + sc.IterGap) * gpu.Nanos(sc.Iterations) * 200
+	target := sess.OpsPerIteration() * sc.Iterations
+	done := 0
+	inner := eng.OnKernelEnd
+	eng.OnKernelEnd = func(s gpu.KernelSpan) {
+		inner(s)
+		if s.Ctx == trace2VictimCtx {
+			done++
+		}
+	}
+	step := sess.IterationDuration() + gpu.Millisecond
+	for done < target && eng.Now() < horizon {
+		eng.Run(eng.Now() + step)
+	}
+	if done < target {
+		return 0, fmt.Errorf("eval: victim did not finish within horizon")
+	}
+
+	var total gpu.Nanos
+	var n int
+	for iter := 0; iter < sc.Iterations; iter++ {
+		start, end, ok := tl.IterationSpan(iter)
+		if !ok {
+			continue
+		}
+		total += end - start
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("eval: no iterations observed")
+	}
+	return total / gpu.Nanos(n), nil
+}
+
+// spyThroughput measures the spy's probe-completion rate with and without
+// the victim and returns completions per simulated second.
+func (sc Scale) spyThroughput(victimOn bool, seed int64) (float64, error) {
+	eng, err := gpu.NewEngine(sc.Device, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return 0, err
+	}
+	prog, err := spy.NewProgram(spy.Config{
+		Ctx:          trace2SpyCtx,
+		Probe:        spy.Conv200,
+		Slowdown:     true,
+		TimeScale:    sc.TimeScale,
+		SamplePeriod: sc.SamplePeriod,
+	})
+	if err != nil {
+		return 0, err
+	}
+	spyDone := 0
+	eng.OnKernelEnd = func(s gpu.KernelSpan) {
+		if s.Ctx == trace2SpyCtx {
+			spyDone++
+		}
+	}
+	if victimOn {
+		sess, err := tfsim.NewSession(sc.Tested[0], tfsim.Config{
+			Iterations: 1 << 30, // endless training
+			IterGap:    sc.IterGap,
+		}, sc.Device)
+		if err != nil {
+			return 0, err
+		}
+		eng.AddChannel(trace2VictimCtx, sess.Source())
+	}
+	prog.AttachTimeSliced(eng)
+	horizon := sc.SamplePeriod * 2000
+	eng.Run(horizon)
+	return float64(spyDone) / (float64(horizon) / 1e9), nil
+}
+
+// SlowdownImpact measures the performance effects of §V-F.
+func SlowdownImpact(sc Scale) (*SlowdownResult, error) {
+	baseline, err := sc.victimIterTime(false, false, sc.Seed+80)
+	if err != nil {
+		return nil, err
+	}
+	one, err := sc.victimIterTime(false, true, sc.Seed+81)
+	if err != nil {
+		return nil, err
+	}
+	attacked, err := sc.victimIterTime(true, true, sc.Seed+82)
+	if err != nil {
+		return nil, err
+	}
+	spyAlone, err := sc.spyThroughput(false, sc.Seed+83)
+	if err != nil {
+		return nil, err
+	}
+	spyContended, err := sc.spyThroughput(true, sc.Seed+84)
+	if err != nil {
+		return nil, err
+	}
+	res := &SlowdownResult{
+		BaselineIter:         baseline,
+		OneKernelIter:        one,
+		AttackIter:           attacked,
+		VictimSlowdown1:      float64(one) / float64(baseline),
+		VictimSlowdownAttack: float64(attacked) / float64(baseline),
+	}
+	if spyContended > 0 {
+		res.SpySlowdown = spyAlone / spyContended
+	}
+	return res, nil
+}
+
+// Render prints the §V-F numbers.
+func (r *SlowdownResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§V-F performance impact of the attack\n")
+	fmt.Fprintf(&b, "  victim iteration alone:        %v\n", r.BaselineIter)
+	fmt.Fprintf(&b, "  with 1 spy kernel:             %v (%.2fx)\n", r.OneKernelIter, r.VictimSlowdown1)
+	fmt.Fprintf(&b, "  with 8-kernel slow-down:       %v (%.2fx)\n", r.AttackIter, r.VictimSlowdownAttack)
+	fmt.Fprintf(&b, "  spy self slow-down:            %.2fx\n", r.SpySlowdown)
+	return b.String()
+}
+
+// SweepPoint is one configuration of the slow-down parameter search (§IV).
+type SweepPoint struct {
+	Kernels, Blocks, Threads int
+	VictimSlowdown           float64
+}
+
+// SlowdownSweep explores <#kernels, #blocks, #threads> like the paper's
+// hundreds-of-combinations search, demonstrating the slow-down upper bound.
+func SlowdownSweep(sc Scale, kernels, blocks, threads []int) ([]SweepPoint, error) {
+	baseline, err := sc.victimIterTime(false, false, sc.Seed+90)
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepPoint
+	seed := sc.Seed + 91
+	for _, nk := range kernels {
+		for _, nb := range blocks {
+			for _, nt := range threads {
+				seed++
+				iter, err := sc.victimIterTimeCustomSpy(nk, nb, nt, seed)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, SweepPoint{
+					Kernels: nk, Blocks: nb, Threads: nt,
+					VictimSlowdown: float64(iter) / float64(baseline),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// victimIterTimeCustomSpy runs the victim against nk copies of a slow-down
+// kernel with the given geometry.
+func (sc Scale) victimIterTimeCustomSpy(nk, blocks, threads int, seed int64) (gpu.Nanos, error) {
+	sess, err := tfsim.NewSession(sc.Tested[0], tfsim.Config{
+		Iterations: sc.Iterations,
+		IterGap:    sc.IterGap,
+	}, sc.Device)
+	if err != nil {
+		return 0, err
+	}
+	eng, err := gpu.NewEngine(sc.Device, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return 0, err
+	}
+	tl := &tfsim.Timeline{}
+	done := 0
+	eng.OnKernelEnd = func(s gpu.KernelSpan) {
+		tl.Observe(s)
+		if s.Ctx == trace2VictimCtx {
+			done++
+		}
+	}
+	eng.AddChannel(trace2VictimCtx, sess.Source())
+	for i := 0; i < nk; i++ {
+		k := gpu.KernelProfile{
+			Name:            fmt.Sprintf("spy.sweep.%d", i),
+			FixedDuration:   gpu.Nanos(float64(5*gpu.Millisecond) * sc.TimeScale),
+			ReadBytes:       float64(4<<20) * sc.TimeScale,
+			WriteBytes:      float64(1<<20) * sc.TimeScale,
+			WorkingSetBytes: float64(2<<20) * sc.TimeScale,
+			Blocks:          blocks,
+			ThreadsPerBlock: threads,
+		}
+		eng.AddChannel(trace2SpyCtx, &gpu.RepeatSource{Kernel: k})
+	}
+
+	target := sess.OpsPerIteration() * sc.Iterations
+	horizon := (sess.IterationDuration() + sc.IterGap) * gpu.Nanos(sc.Iterations) * 400
+	step := sess.IterationDuration() + gpu.Millisecond
+	for done < target && eng.Now() < horizon {
+		eng.Run(eng.Now() + step)
+	}
+	if done < target {
+		return 0, fmt.Errorf("eval: victim did not finish sweep run")
+	}
+	var total gpu.Nanos
+	var n int
+	for iter := 0; iter < sc.Iterations; iter++ {
+		start, end, ok := tl.IterationSpan(iter)
+		if !ok {
+			continue
+		}
+		total += end - start
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("eval: no iterations observed in sweep run")
+	}
+	return total / gpu.Nanos(n), nil
+}
+
+// RenderSweep prints the sweep points.
+func RenderSweep(points []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§IV slow-down parameter sweep (victim slow-down ratio)\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "  kernels=%-3d blocks=%-3d threads=%-5d -> %.2fx\n",
+			p.Kernels, p.Blocks, p.Threads, p.VictimSlowdown)
+	}
+	return b.String()
+}

@@ -1,0 +1,225 @@
+// Package gbdt implements gradient-boosted decision trees with a logistic
+// objective — the from-scratch substitute for LightGBM that MoSConS's Mgap
+// iteration splitter uses to classify every CUPTI sample as NOP or BUSY —
+// plus the MinMaxScaler preprocessing the paper applies to Mgap's inputs.
+package gbdt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"leakydnn/internal/mat"
+)
+
+// Config controls boosting.
+type Config struct {
+	// Rounds is the number of boosted trees (default 50).
+	Rounds int
+	// MaxDepth bounds each tree (default 4).
+	MaxDepth int
+	// LearningRate is the shrinkage applied to each tree (default 0.15).
+	LearningRate float64
+	// Lambda is the L2 leaf regularizer (default 1).
+	Lambda float64
+	// MinLeaf is the minimum samples per leaf (default 4).
+	MinLeaf int
+}
+
+func (c *Config) defaults() error {
+	if c.Rounds == 0 {
+		c.Rounds = 50
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 4
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.15
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 1
+	}
+	if c.MinLeaf == 0 {
+		c.MinLeaf = 4
+	}
+	if c.Rounds < 0 || c.MaxDepth < 1 || c.LearningRate <= 0 || c.Lambda < 0 || c.MinLeaf < 1 {
+		return fmt.Errorf("gbdt: invalid config %+v", *c)
+	}
+	return nil
+}
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	value     float64
+}
+
+func (n *node) predict(x []float64) float64 {
+	for n.feature >= 0 {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Classifier is a trained binary gradient-boosted model.
+type Classifier struct {
+	cfg   Config
+	base  float64 // prior log-odds
+	trees []*node
+	dim   int
+}
+
+// Train fits a classifier on features X and binary labels y.
+func Train(x [][]float64, y []int, cfg Config) (*Classifier, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("gbdt: %d feature rows for %d labels", len(x), len(y))
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return nil, errors.New("gbdt: zero-dimensional features")
+	}
+	var pos int
+	for i, row := range x {
+		if len(row) != dim {
+			return nil, fmt.Errorf("gbdt: row %d has dim %d, want %d", i, len(row), dim)
+		}
+		switch y[i] {
+		case 0:
+		case 1:
+			pos++
+		default:
+			return nil, fmt.Errorf("gbdt: label %d at row %d, want 0 or 1", y[i], i)
+		}
+	}
+
+	// Prior log-odds, clamped away from degeneracy.
+	p := (float64(pos) + 0.5) / (float64(len(y)) + 1)
+	c := &Classifier{cfg: cfg, base: math.Log(p / (1 - p)), dim: dim}
+
+	scores := make([]float64, len(x))
+	for i := range scores {
+		scores[i] = c.base
+	}
+	grad := make([]float64, len(x))
+	hess := make([]float64, len(x))
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := range x {
+			pi := mat.Sigmoid(scores[i])
+			grad[i] = pi - float64(y[i])
+			hess[i] = pi * (1 - pi)
+			if hess[i] < 1e-9 {
+				hess[i] = 1e-9
+			}
+		}
+		tree := c.buildNode(x, grad, hess, idx, cfg.MaxDepth)
+		c.trees = append(c.trees, tree)
+		for i := range x {
+			scores[i] += cfg.LearningRate * tree.predict(x[i])
+		}
+	}
+	return c, nil
+}
+
+// buildNode recursively grows one regression tree over the sample indices.
+func (c *Classifier) buildNode(x [][]float64, grad, hess []float64, idx []int, depth int) *node {
+	var gSum, hSum float64
+	for _, i := range idx {
+		gSum += grad[i]
+		hSum += hess[i]
+	}
+	leaf := &node{feature: -1, value: -gSum / (hSum + c.cfg.Lambda)}
+	if depth == 0 || len(idx) < 2*c.cfg.MinLeaf {
+		return leaf
+	}
+
+	bestGain := 0.0
+	bestFeat := -1
+	var bestThresh float64
+	parentScore := gSum * gSum / (hSum + c.cfg.Lambda)
+
+	order := make([]int, len(idx))
+	for f := 0; f < c.dim; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+
+		var gl, hl float64
+		for pos := 0; pos < len(order)-1; pos++ {
+			i := order[pos]
+			gl += grad[i]
+			hl += hess[i]
+			// Can't split between equal values.
+			if x[order[pos]][f] == x[order[pos+1]][f] {
+				continue
+			}
+			nl, nr := pos+1, len(order)-pos-1
+			if nl < c.cfg.MinLeaf || nr < c.cfg.MinLeaf {
+				continue
+			}
+			gr, hr := gSum-gl, hSum-hl
+			gain := gl*gl/(hl+c.cfg.Lambda) + gr*gr/(hr+c.cfg.Lambda) - parentScore
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (x[order[pos]][f] + x[order[pos+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return leaf
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &node{
+		feature:   bestFeat,
+		threshold: bestThresh,
+		left:      c.buildNode(x, grad, hess, left, depth-1),
+		right:     c.buildNode(x, grad, hess, right, depth-1),
+	}
+}
+
+// PredictProb returns P(label=1 | x).
+func (c *Classifier) PredictProb(x []float64) (float64, error) {
+	if len(x) != c.dim {
+		return 0, fmt.Errorf("gbdt: input dim %d, want %d", len(x), c.dim)
+	}
+	score := c.base
+	for _, tree := range c.trees {
+		score += c.cfg.LearningRate * tree.predict(x)
+	}
+	return mat.Sigmoid(score), nil
+}
+
+// Predict returns the hard label for x.
+func (c *Classifier) Predict(x []float64) (int, error) {
+	p, err := c.PredictProb(x)
+	if err != nil {
+		return 0, err
+	}
+	if p >= 0.5 {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,92 @@
+package gbdt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// nodeRec is the flat, gob-friendly form of one tree node. Children are
+// indices into the flattened slice; -1 marks a leaf.
+type nodeRec struct {
+	Feature   int
+	Threshold float64
+	Left      int
+	Right     int
+	Value     float64
+}
+
+// snapshot is the serializable form of a classifier.
+type snapshot struct {
+	Cfg   Config
+	Base  float64
+	Dim   int
+	Trees [][]nodeRec
+}
+
+// Save writes the classifier to w.
+func (c *Classifier) Save(w io.Writer) error {
+	snap := snapshot{Cfg: c.cfg, Base: c.base, Dim: c.dim}
+	for _, tree := range c.trees {
+		var flat []nodeRec
+		flatten(tree, &flat)
+		snap.Trees = append(snap.Trees, flat)
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("gbdt: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a classifier previously written by Save.
+func Load(r io.Reader) (*Classifier, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("gbdt: load: %w", err)
+	}
+	if snap.Dim <= 0 {
+		return nil, fmt.Errorf("gbdt: load: invalid feature dim %d", snap.Dim)
+	}
+	c := &Classifier{cfg: snap.Cfg, base: snap.Base, dim: snap.Dim}
+	for i, flat := range snap.Trees {
+		root, err := unflatten(flat, 0)
+		if err != nil {
+			return nil, fmt.Errorf("gbdt: load: tree %d: %w", i, err)
+		}
+		c.trees = append(c.trees, root)
+	}
+	return c, nil
+}
+
+// flatten appends the subtree rooted at n to out in pre-order and returns
+// its index.
+func flatten(n *node, out *[]nodeRec) int {
+	idx := len(*out)
+	*out = append(*out, nodeRec{Feature: n.feature, Threshold: n.threshold, Value: n.value, Left: -1, Right: -1})
+	if n.feature >= 0 {
+		left := flatten(n.left, out)
+		right := flatten(n.right, out)
+		(*out)[idx].Left = left
+		(*out)[idx].Right = right
+	}
+	return idx
+}
+
+// unflatten rebuilds the subtree at index i.
+func unflatten(flat []nodeRec, i int) (*node, error) {
+	if i < 0 || i >= len(flat) {
+		return nil, fmt.Errorf("node index %d out of range", i)
+	}
+	rec := flat[i]
+	n := &node{feature: rec.Feature, threshold: rec.Threshold, value: rec.Value}
+	if rec.Feature >= 0 {
+		var err error
+		if n.left, err = unflatten(flat, rec.Left); err != nil {
+			return nil, err
+		}
+		if n.right, err = unflatten(flat, rec.Right); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}

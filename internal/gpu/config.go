@@ -1,0 +1,183 @@
+// Package gpu implements a discrete-event simulator of an Nvidia-style GPU
+// shared by multiple CUDA contexts. It models the two scheduling regimes the
+// paper studies — the default time-sliced scheduler with preemptive context
+// switching, and the MPS (Multi-Process Service) concurrent scheduler with a
+// leftover SM-allocation policy — together with the memory-system state
+// (L2 slices, texture units, DRAM sub-partitions) whose disturbance across
+// context switches is the side channel MoSConS exploits.
+//
+// The simulator is calibrated to resemble the paper's GTX 1080 Ti (Pascal)
+// testbed, but every parameter is exposed through DeviceConfig so experiments
+// can scale the platform up or down deterministically.
+package gpu
+
+import "math/rand"
+
+// Nanos is a point in (or duration of) simulated time, in nanoseconds.
+type Nanos int64
+
+// Common durations in Nanos.
+const (
+	Microsecond Nanos = 1000
+	Millisecond Nanos = 1000 * Microsecond
+	Second      Nanos = 1000 * Millisecond
+)
+
+// DeviceConfig describes the simulated GPU.
+type DeviceConfig struct {
+	// NumSMs is the number of streaming multiprocessors (28 for GTX 1080 Ti).
+	NumSMs int
+	// FLOPsPerNs is peak device throughput in floating-point operations per
+	// nanosecond with all SMs busy (~11.3 TFLOP/s for GTX 1080 Ti).
+	FLOPsPerNs float64
+	// DRAMBytesPerNs is peak DRAM bandwidth in bytes per nanosecond
+	// (~484 GB/s for GTX 1080 Ti).
+	DRAMBytesPerNs float64
+	// L2Bytes is the total L2 cache capacity (2.75 MiB for GTX 1080 Ti).
+	L2Bytes float64
+	// TexCacheBytes is the aggregate texture-cache capacity across SMs.
+	// Texture-path kernels (cuDNN convolutions, the Conv200 probe) keep
+	// working sets here; cross-context eviction of this state is a second,
+	// conv-specific side channel.
+	TexCacheBytes float64
+	// SectorBytes is the DRAM/L2 sector granularity used by the performance
+	// counters (32 bytes on Nvidia hardware).
+	SectorBytes float64
+
+	// SliceQuantum is the time-slice granted to a full-occupancy kernel by
+	// the time-sliced scheduler. Lower-occupancy kernels receive
+	// proportionally shorter slices (the "priority of the computing task"
+	// effect the paper describes).
+	SliceQuantum Nanos
+	// MinSlice bounds how short an occupancy-scaled slice may become.
+	MinSlice Nanos
+	// SwitchCost is the fixed preemption cost paid whenever the scheduler
+	// switches between kernels of different contexts.
+	SwitchCost Nanos
+	// LaunchGap is the host-side latency between a kernel completing and the
+	// next kernel of the same stream becoming runnable.
+	LaunchGap Nanos
+
+	// JitterFrac randomizes each slice length by ±JitterFrac.
+	JitterFrac float64
+	// NoiseFrac is multiplicative measurement noise applied to every counter
+	// contribution (models run-to-run variation of the real counters).
+	NoiseFrac float64
+	// SubpImbalance randomizes the DRAM sub-partition / L2-slice / texture
+	// unit split around 50/50 by ±SubpImbalance.
+	SubpImbalance float64
+
+	// L2ResidencyCap is the fraction of L2 a single context may keep
+	// resident (set <1 to model the non-partitionable ways).
+	L2ResidencyCap float64
+
+	// ProtectedCtx, when non-zero, names a context the hardened scheduler
+	// protects (§VI's scheduler-enhancement defense): its kernels' time
+	// slices are multiplied by ProtectedBoost, reducing how often other
+	// contexts can preempt and sample it.
+	ProtectedCtx ContextID
+	// ProtectedBoost is the protected context's slice multiplier (default 1).
+	ProtectedBoost float64
+	// MaxChannelsPerCtx, when positive, caps how many hardware channels any
+	// unprotected context may register — disarming the slow-down attack's
+	// channel multiplication.
+	MaxChannelsPerCtx int
+
+	// RunlistSlotsPerCtx bounds how many of one context's channels receive
+	// a slice per scheduling pass; surplus channels wait for later passes.
+	// This is what gives the slow-down attack its upper bound (§IV: "higher
+	// numbers of kernels/blocks/threads are not always more effective").
+	RunlistSlotsPerCtx int
+	// ColdMissFrac is the fraction of a kernel's streamed read traffic that
+	// misses L2 even in steady state.
+	ColdMissFrac float64
+	// WriteMissFrac is the analogous fraction for write traffic.
+	WriteMissFrac float64
+}
+
+// DefaultDeviceConfig returns a configuration resembling the paper's
+// GTX 1080 Ti testbed.
+func DefaultDeviceConfig() DeviceConfig {
+	return DeviceConfig{
+		NumSMs:             28,
+		FLOPsPerNs:         11_300, // 11.3 TFLOP/s
+		DRAMBytesPerNs:     484,    // 484 GB/s
+		L2Bytes:            2.75 * 1024 * 1024,
+		TexCacheBytes:      512 * 1024,
+		SectorBytes:        32,
+		SliceQuantum:       1 * Millisecond,
+		MinSlice:           100 * Microsecond,
+		SwitchCost:         120 * Microsecond,
+		LaunchGap:          15 * Microsecond,
+		JitterFrac:         0.05,
+		NoiseFrac:          0.06,
+		SubpImbalance:      0.04,
+		L2ResidencyCap:     0.9,
+		RunlistSlotsPerCtx: 10,
+		ColdMissFrac:       0.25,
+		WriteMissFrac:      0.5,
+	}
+}
+
+// ScaledTime returns a copy of c with every scheduler time constant
+// multiplied by f. Experiments use it to shrink the platform's time scale in
+// lockstep with scaled-down workloads so unit tests stay fast while
+// preserving every ratio the side channel depends on.
+func (c DeviceConfig) ScaledTime(f float64) DeviceConfig {
+	scale := func(d Nanos) Nanos {
+		out := Nanos(float64(d) * f)
+		if out < 1 {
+			out = 1
+		}
+		return out
+	}
+	c.SliceQuantum = scale(c.SliceQuantum)
+	c.MinSlice = scale(c.MinSlice)
+	c.SwitchCost = scale(c.SwitchCost)
+	c.LaunchGap = scale(c.LaunchGap)
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c DeviceConfig) Validate() error {
+	switch {
+	case c.NumSMs <= 0:
+		return errConfig("NumSMs must be positive")
+	case c.FLOPsPerNs <= 0:
+		return errConfig("FLOPsPerNs must be positive")
+	case c.DRAMBytesPerNs <= 0:
+		return errConfig("DRAMBytesPerNs must be positive")
+	case c.L2Bytes <= 0:
+		return errConfig("L2Bytes must be positive")
+	case c.TexCacheBytes <= 0:
+		return errConfig("TexCacheBytes must be positive")
+	case c.SectorBytes <= 0:
+		return errConfig("SectorBytes must be positive")
+	case c.SliceQuantum <= 0:
+		return errConfig("SliceQuantum must be positive")
+	case c.MinSlice <= 0 || c.MinSlice > c.SliceQuantum:
+		return errConfig("MinSlice must be in (0, SliceQuantum]")
+	case c.L2ResidencyCap <= 0 || c.L2ResidencyCap > 1:
+		return errConfig("L2ResidencyCap must be in (0,1]")
+	}
+	return nil
+}
+
+type configError string
+
+func errConfig(msg string) error { return configError(msg) }
+
+func (e configError) Error() string { return "gpu: invalid config: " + string(e) }
+
+// jitter returns d perturbed by ±frac, never below 1ns.
+func jitter(d Nanos, frac float64, rng *rand.Rand) Nanos {
+	if frac <= 0 {
+		return d
+	}
+	f := 1 + frac*(rng.Float64()*2-1)
+	out := Nanos(float64(d) * f)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}

@@ -1,0 +1,434 @@
+package gpu
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ContextID identifies a CUDA context (one per process sharing the GPU).
+type ContextID int
+
+// Source feeds kernels to one GPU channel (hardware stream). The engine calls
+// Next whenever the channel is idle; the returned notBefore models host-side
+// delays (kernel launch latency, inter-iteration data preparation).
+type Source interface {
+	// Next returns the next kernel and the earliest simulated time it may
+	// start. ok=false permanently retires the channel.
+	Next(now Nanos) (k KernelProfile, notBefore Nanos, ok bool)
+}
+
+// SliceRecord describes one scheduler grant: which kernel of which context
+// ran in [Start, End), and the performance-counter increments it generated.
+// RefetchBytes is the portion of the traffic caused by re-loading L2 state
+// evicted by other contexts — the context-switching penalty itself.
+type SliceRecord struct {
+	Ctx             ContextID
+	Kernel          KernelProfile
+	Start, End      Nanos
+	Counters        CounterDelta
+	RefetchBytes    float64
+	TexRefetchBytes float64
+	// Completed is true when the kernel finished during this slice.
+	Completed bool
+}
+
+// KernelSpan reports one full kernel execution (used for the timeline
+// profiler and per-kernel sampling).
+type KernelSpan struct {
+	Ctx        ContextID
+	Kernel     KernelProfile
+	Start, End Nanos
+}
+
+// Engine is the time-sliced (context-switching) GPU scheduler. Channels are
+// served round-robin; every kernel earns a slice proportional to its
+// occupancy; switching between contexts costs SwitchCost and disturbs L2
+// residency, which the next victim of the disturbance pays for in DRAM
+// refetch traffic.
+type Engine struct {
+	cfg DeviceConfig
+	rng *rand.Rand
+
+	channels []*channel
+	now      Nanos
+	lastCtx  ContextID
+
+	// Runlist-slot accounting: per scheduling pass, each context may place
+	// at most RunlistSlotsPerCtx channels.
+	passServed map[ContextID]int
+	passCount  int
+
+	// OnSlice, if set, observes every scheduler grant.
+	OnSlice func(SliceRecord)
+	// OnKernelEnd, if set, observes every kernel completion.
+	OnKernelEnd func(KernelSpan)
+
+	busy map[ContextID]Nanos // accumulated execution time per context
+}
+
+// refetchRateFactor bounds how much faster than its steady-state read rate a
+// kernel can re-warm its evicted working set: re-fetches are demand misses,
+// so they can at most double-ish the kernel's read stream.
+const refetchRateFactor = 2.0
+
+type channel struct {
+	ctx    ContextID
+	source Source
+
+	current   *KernelProfile
+	remaining Nanos // remaining exclusive-device execution time
+	started   Nanos // wall-clock start of the current kernel
+	notBefore Nanos
+	done      bool
+
+	// resident is the channel's working set currently held in L2. Other
+	// channels' streaming traffic erodes it; the deficit is repaid as
+	// counter-visible DRAM refetch traffic when the channel next runs.
+	resident float64
+	// texResident is the analogous texture-cache state; only texture-path
+	// kernels (convolutions) erode it, making its refetch a conv-specific
+	// fingerprint.
+	texResident float64
+}
+
+// NewEngine builds a time-sliced engine over cfg. The rng drives slice
+// jitter, sub-partition imbalance and measurement noise; pass a seeded
+// source for reproducible runs.
+func NewEngine(cfg DeviceConfig, rng *rand.Rand) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("gpu: engine requires a rand source")
+	}
+	return &Engine{
+		cfg:        cfg,
+		rng:        rng,
+		busy:       make(map[ContextID]Nanos),
+		passServed: make(map[ContextID]int),
+		lastCtx:    -1,
+	}, nil
+}
+
+// AddChannel registers a kernel source for ctx. Each call creates one
+// hardware channel; a context may own several (this is how the slow-down
+// attack multiplies the spy's share of the round-robin). Under the hardened
+// scheduler (MaxChannelsPerCtx > 0) an unprotected context's channels beyond
+// the cap are rejected, and AddChannel reports whether the channel was
+// accepted.
+func (e *Engine) AddChannel(ctx ContextID, src Source) bool {
+	if e.cfg.MaxChannelsPerCtx > 0 && ctx != e.cfg.ProtectedCtx {
+		count := 0
+		for _, ch := range e.channels {
+			if ch.ctx == ctx {
+				count++
+			}
+		}
+		if count >= e.cfg.MaxChannelsPerCtx {
+			return false
+		}
+	}
+	e.channels = append(e.channels, &channel{ctx: ctx, source: src})
+	return true
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Nanos { return e.now }
+
+// BusyTime returns the accumulated execution (not wall-clock) time granted
+// to ctx so far.
+func (e *Engine) BusyTime(ctx ContextID) Nanos { return e.busy[ctx] }
+
+// Run advances the simulation until the given time, or until every channel
+// retires, whichever comes first.
+func (e *Engine) Run(until Nanos) {
+	for e.now < until {
+		ch := e.pickRunnable(until)
+		if ch == nil {
+			return
+		}
+		e.grantSlice(ch, until)
+	}
+}
+
+// pickRunnable selects the next channel round-robin. If no channel is
+// runnable now but some are waiting on notBefore, time advances to the
+// earliest wake-up (capped at until). Returns nil when all channels retired
+// or the horizon was reached while idle.
+func (e *Engine) pickRunnable(until Nanos) *channel {
+	for {
+		var earliest Nanos = -1
+		anyAlive := false
+		capSkipped := false
+		for range e.channels {
+			ch := e.rotate()
+			if ch.done {
+				continue
+			}
+			anyAlive = true
+			if ch.current == nil && !e.refill(ch) {
+				continue
+			}
+			if e.cfg.RunlistSlotsPerCtx > 0 && e.passServed[ch.ctx] >= e.cfg.RunlistSlotsPerCtx {
+				// This context exhausted its runlist slots for the pass;
+				// its surplus channels wait.
+				capSkipped = true
+				continue
+			}
+			if ch.notBefore <= e.now {
+				e.notePassSlot(ch.ctx)
+				return ch
+			}
+			if earliest < 0 || ch.notBefore < earliest {
+				earliest = ch.notBefore
+			}
+		}
+		if earliest < 0 {
+			if anyAlive && capSkipped {
+				// Only slot-capped channels remain runnable: the pass is
+				// effectively over, start a new one.
+				e.passCount = 0
+				for id := range e.passServed {
+					e.passServed[id] = 0
+				}
+				continue
+			}
+			return nil
+		}
+		if earliest >= until {
+			e.now = until
+			return nil
+		}
+		e.now = earliest
+	}
+}
+
+// notePassSlot charges one runlist slot to ctx, resetting the accounting
+// when a full pass over the ring has been served.
+func (e *Engine) notePassSlot(ctx ContextID) {
+	if e.cfg.RunlistSlotsPerCtx <= 0 {
+		return
+	}
+	e.passServed[ctx]++
+	e.passCount++
+	if e.passCount >= len(e.channels) {
+		e.passCount = 0
+		for id := range e.passServed {
+			e.passServed[id] = 0
+		}
+	}
+}
+
+// rotate pops the head channel and pushes it to the back, returning it.
+func (e *Engine) rotate() *channel {
+	ch := e.channels[0]
+	copy(e.channels, e.channels[1:])
+	e.channels[len(e.channels)-1] = ch
+	return ch
+}
+
+// refill asks the channel's source for its next kernel. Reports whether the
+// channel now has (or is waiting on) a kernel.
+func (e *Engine) refill(ch *channel) bool {
+	k, notBefore, ok := ch.source.Next(e.now)
+	if !ok {
+		ch.done = true
+		return false
+	}
+	ch.current = &k
+	ch.remaining = k.Duration(e.cfg)
+	ch.notBefore = notBefore
+	if ch.notBefore < e.now {
+		ch.notBefore = e.now
+	}
+	ch.started = ch.notBefore
+	return true
+}
+
+// grantSlice runs ch's kernel for one occupancy-scaled time slice.
+func (e *Engine) grantSlice(ch *channel, until Nanos) {
+	k := *ch.current
+	if ch.started < e.now {
+		// The kernel was preempted mid-flight; keep its original start.
+	} else {
+		ch.started = e.now
+	}
+
+	switched := ch.ctx != e.lastCtx
+	if switched && e.lastCtx >= 0 {
+		e.now += e.cfg.SwitchCost
+	}
+	e.lastCtx = ch.ctx
+
+	// Occupancy-scaled slice: full-device kernels earn the full quantum.
+	// The hardened scheduler additionally boosts the protected context.
+	occ := k.Occupancy(e.cfg)
+	slice := Nanos(float64(e.cfg.SliceQuantum) * occ)
+	if e.cfg.ProtectedCtx != 0 && ch.ctx == e.cfg.ProtectedCtx && e.cfg.ProtectedBoost > 1 {
+		slice = Nanos(float64(slice) * e.cfg.ProtectedBoost)
+	}
+	if slice < e.cfg.MinSlice {
+		slice = e.cfg.MinSlice
+	}
+	slice = jitter(slice, e.cfg.JitterFrac, e.rng)
+
+	run := slice
+	if ch.remaining < run {
+		run = ch.remaining
+	}
+	if rem := until - e.now; rem > 0 && run > rem {
+		run = rem
+	}
+	if run <= 0 {
+		run = 1
+	}
+
+	refetch := e.touchL2(ch, k, run)
+	texRefetch := e.touchTex(ch, k, run)
+	stall := Nanos((refetch + texRefetch) / e.cfg.DRAMBytesPerNs)
+
+	rec := SliceRecord{
+		Ctx:             ch.ctx,
+		Kernel:          k,
+		Start:           e.now,
+		End:             e.now + run + stall,
+		RefetchBytes:    refetch,
+		TexRefetchBytes: texRefetch,
+	}
+	rec.Counters = e.sliceCounters(k, run, refetch, texRefetch)
+
+	e.now = rec.End
+	e.busy[ch.ctx] += run
+	ch.remaining -= run
+
+	if ch.remaining <= 0 {
+		rec.Completed = true
+		if e.OnKernelEnd != nil {
+			e.OnKernelEnd(KernelSpan{Ctx: ch.ctx, Kernel: k, Start: ch.started, End: e.now})
+		}
+		ch.current = nil
+		ch.notBefore = e.now + e.cfg.LaunchGap
+	}
+	if e.OnSlice != nil {
+		e.OnSlice(rec)
+	}
+}
+
+// touchL2 updates the residency model for a slice of kernel k on channel ch
+// and returns the bytes the channel had to refetch because other channels'
+// streaming traffic evicted its working set since it last ran. Refetch is
+// bounded by what the kernel can actually touch during the slice (a multiple
+// of its read rate times the slice length): a kernel recovering a flushed
+// working set pays for it across several slices, exactly like real cache
+// warm-up.
+func (e *Engine) touchL2(ch *channel, k KernelProfile, run Nanos) float64 {
+	capacity := e.cfg.L2Bytes * e.cfg.L2ResidencyCap
+	demand := k.WorkingSetBytes
+	if demand > capacity {
+		demand = capacity
+	}
+	deficit := demand - ch.resident
+	if deficit < 0 {
+		deficit = 0
+	}
+	read, write, _ := k.TrafficRates(e.cfg)
+	touchable := refetchRateFactor * read * float64(run)
+	refetch := deficit
+	if refetch > touchable {
+		refetch = touchable
+	}
+	if ch.resident+refetch < demand {
+		ch.resident += refetch
+	} else {
+		ch.resident = demand
+	}
+
+	// Streaming traffic flushes other channels' lines in proportion to how
+	// much data moved through L2 during the slice. This is the victim-op
+	// fingerprint: bandwidth-heavy element-wise ops flush far more per slice
+	// than compute-bound convolutions.
+	streamed := (read + write) * float64(run)
+	evictFrac := streamed / e.cfg.L2Bytes
+	if evictFrac > 1 {
+		evictFrac = 1
+	}
+	var total float64
+	for _, other := range e.channels {
+		if other != ch {
+			other.resident *= 1 - evictFrac
+		}
+		total += other.resident
+	}
+
+	// Capacity pressure: shrink everyone proportionally if oversubscribed.
+	if total > e.cfg.L2Bytes {
+		scale := e.cfg.L2Bytes / total
+		for _, other := range e.channels {
+			other.resident *= scale
+		}
+	}
+	return refetch
+}
+
+// touchTex updates the texture-cache residency model and returns the bytes
+// of texture working set the channel had to re-query because texture-path
+// kernels of other channels evicted it.
+func (e *Engine) touchTex(ch *channel, k KernelProfile, run Nanos) float64 {
+	demand := k.TexWorkingSetBytes
+	if demand > e.cfg.TexCacheBytes {
+		demand = e.cfg.TexCacheBytes
+	}
+	_, _, texRate := k.TrafficRates(e.cfg)
+	deficit := demand - ch.texResident
+	if deficit < 0 {
+		deficit = 0
+	}
+	touchable := refetchRateFactor * texRate * float64(run)
+	refetch := deficit
+	if refetch > touchable {
+		refetch = touchable
+	}
+	if ch.texResident+refetch < demand {
+		ch.texResident += refetch
+	} else {
+		ch.texResident = demand
+	}
+
+	// Only texture traffic erodes texture-cache state: convolutions flush
+	// the spy's texture set, element-wise and GEMM ops leave it intact.
+	texStreamed := texRate * float64(run)
+	evictFrac := texStreamed / e.cfg.TexCacheBytes
+	if evictFrac > 1 {
+		evictFrac = 1
+	}
+	if evictFrac > 0 {
+		for _, other := range e.channels {
+			if other != ch {
+				other.texResident *= 1 - evictFrac
+			}
+		}
+	}
+	return refetch
+}
+
+// sliceCounters attributes performance-counter increments for running kernel
+// k for run nanoseconds, plus the L2 and texture refetch penalties.
+func (e *Engine) sliceCounters(k KernelProfile, run Nanos, refetch, texRefetch float64) CounterDelta {
+	read, write, tex := k.TrafficRates(e.cfg)
+	dur := float64(run)
+	sec := e.cfg.SectorBytes
+
+	readSec := noisy(read*dur/sec, e.cfg.NoiseFrac, e.rng)
+	writeSec := noisy(write*dur/sec, e.cfg.NoiseFrac, e.rng)
+	texSec := noisy(tex*dur/sec, e.cfg.NoiseFrac, e.rng)
+	refetchSec := noisy(refetch/sec, e.cfg.NoiseFrac, e.rng)
+	texRefetchSec := noisy(texRefetch/sec, e.cfg.NoiseFrac, e.rng)
+
+	var d CounterDelta
+	d.FBReadSectors = splitAcross(readSec+refetchSec+texRefetchSec, e.cfg.SubpImbalance, e.rng)
+	d.FBWriteSectors = splitAcross(writeSec, e.cfg.SubpImbalance, e.rng)
+	d.TexQueries = splitAcross(texSec+texRefetchSec, e.cfg.SubpImbalance, e.rng)
+	d.L2ReadMisses = splitAcross(readSec*e.cfg.ColdMissFrac+refetchSec, e.cfg.SubpImbalance, e.rng)
+	d.L2WriteMisses = splitAcross(writeSec*e.cfg.WriteMissFrac, e.cfg.SubpImbalance, e.rng)
+	return d
+}

@@ -1,0 +1,95 @@
+package gpu
+
+import "fmt"
+
+// KernelProfile describes one CUDA kernel's launch geometry and resource
+// footprint. Profiles are produced by the DNN lowering pass (victim kernels)
+// and by the spy program (probe and slow-down kernels).
+type KernelProfile struct {
+	// Name identifies the kernel (e.g. "Conv2D", "spy.Conv200").
+	Name string
+
+	// FLOPs is the total floating-point work of the kernel.
+	FLOPs float64
+	// ReadBytes and WriteBytes are the total DRAM-visible traffic of a cold
+	// execution.
+	ReadBytes  float64
+	WriteBytes float64
+	// TexBytes is traffic routed through the texture caches.
+	TexBytes float64
+	// WorkingSetBytes is the reusable data the kernel benefits from keeping
+	// resident in L2 between time slices (weights, tiles). Evicting it forces
+	// a measurable refetch — the context-switching penalty.
+	WorkingSetBytes float64
+	// TexWorkingSetBytes is the reusable data held in the texture caches by
+	// texture-path kernels; its eviction is repaid in extra texture queries.
+	TexWorkingSetBytes float64
+
+	// Blocks and ThreadsPerBlock define the launch geometry, which determines
+	// occupancy and therefore the scheduler slice the kernel earns.
+	Blocks          int
+	ThreadsPerBlock int
+
+	// FixedDuration, when non-zero, overrides the duration derived from the
+	// cost model. Spy kernels use this to pin their nominal execution time.
+	FixedDuration Nanos
+
+	// Tag carries opaque ground-truth metadata (e.g. the victim op
+	// descriptor) through the simulator to the timeline profiler.
+	Tag any
+}
+
+// Occupancy returns the fraction of the device the kernel can keep busy,
+// based on its launch geometry. A kernel must supply at least 256 threads
+// per SM to reach full occupancy in this model.
+func (k KernelProfile) Occupancy(cfg DeviceConfig) float64 {
+	threads := float64(k.Blocks * k.ThreadsPerBlock)
+	full := float64(cfg.NumSMs) * 256
+	if threads <= 0 || full <= 0 {
+		return 0
+	}
+	occ := threads / full
+	if occ > 1 {
+		occ = 1
+	}
+	return occ
+}
+
+// Duration returns the kernel's execution time with the whole device to
+// itself: the max of its compute time at occupancy-scaled throughput and its
+// bandwidth time, unless FixedDuration pins it.
+func (k KernelProfile) Duration(cfg DeviceConfig) Nanos {
+	if k.FixedDuration > 0 {
+		return k.FixedDuration
+	}
+	occ := k.Occupancy(cfg)
+	if occ <= 0 {
+		occ = 1.0 / float64(cfg.NumSMs*256)
+	}
+	compute := k.FLOPs / (cfg.FLOPsPerNs * occ)
+	memory := (k.ReadBytes + k.WriteBytes) / cfg.DRAMBytesPerNs
+	d := compute
+	if memory > d {
+		d = memory
+	}
+	n := Nanos(d)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// TrafficRates returns the kernel's DRAM read, write and texture traffic in
+// bytes per nanosecond of its own execution.
+func (k KernelProfile) TrafficRates(cfg DeviceConfig) (read, write, tex float64) {
+	d := float64(k.Duration(cfg))
+	if d <= 0 {
+		return 0, 0, 0
+	}
+	return k.ReadBytes / d, k.WriteBytes / d, k.TexBytes / d
+}
+
+func (k KernelProfile) String() string {
+	return fmt.Sprintf("%s{%dx%d, %.0f FLOPs, %.0fB r/%.0fB w}",
+		k.Name, k.Blocks, k.ThreadsPerBlock, k.FLOPs, k.ReadBytes, k.WriteBytes)
+}

@@ -1,0 +1,399 @@
+// Package lstm implements the Long Short-Term Memory networks MoSConS uses
+// as inference models (paper Table III): a single LSTM layer followed by a
+// fully-connected layer and a softmax, trained with (optionally
+// class-weighted, optionally masked) cross-entropy via full back-propagation
+// through time and Adam. Everything is written from scratch on the repo's
+// dense-matrix kernel; a numerical gradient check in the test suite pins the
+// correctness of the BPTT derivation.
+package lstm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"leakydnn/internal/mat"
+)
+
+// Config describes a network.
+type Config struct {
+	// InputDim is the per-timestep feature dimension.
+	InputDim int
+	// Hidden is the LSTM state size (256 for Mlong/Mop/voting, 128 for Mhp).
+	Hidden int
+	// Classes is the output alphabet size.
+	Classes int
+
+	// LearningRate is Adam's step size (default 1e-2).
+	LearningRate float64
+	// ClipAbs clamps every gradient entry to ±ClipAbs (default 5).
+	ClipAbs float64
+	// ClassWeights amplifies the loss of under-represented classes (the
+	// paper's weighted softmax/cross-entropy for Mlong). Nil means uniform.
+	ClassWeights []float64
+	// Seed drives weight initialization and shuffling.
+	Seed int64
+}
+
+func (c *Config) defaults() error {
+	if c.InputDim <= 0 || c.Hidden <= 0 || c.Classes <= 1 {
+		return fmt.Errorf("lstm: invalid dims input=%d hidden=%d classes=%d", c.InputDim, c.Hidden, c.Classes)
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 1e-2
+	}
+	if c.LearningRate < 0 {
+		return errors.New("lstm: negative learning rate")
+	}
+	if c.ClipAbs == 0 {
+		c.ClipAbs = 5
+	}
+	if c.ClassWeights != nil && len(c.ClassWeights) != c.Classes {
+		return fmt.Errorf("lstm: %d class weights for %d classes", len(c.ClassWeights), c.Classes)
+	}
+	return nil
+}
+
+// Sequence is one training sequence: per-timestep feature vectors, integer
+// labels, and an optional mask selecting the timesteps whose loss counts
+// (Mop and Mhp ignore the loss of irrelevant samples; the LSTM still
+// consumes them to carry context).
+type Sequence struct {
+	Inputs [][]float64
+	Labels []int
+	Mask   []bool // nil = all timesteps count
+}
+
+func (s Sequence) validate(inputDim, classes int) error {
+	if len(s.Inputs) == 0 {
+		return errors.New("lstm: empty sequence")
+	}
+	if len(s.Labels) != len(s.Inputs) {
+		return fmt.Errorf("lstm: %d labels for %d inputs", len(s.Labels), len(s.Inputs))
+	}
+	if s.Mask != nil && len(s.Mask) != len(s.Inputs) {
+		return fmt.Errorf("lstm: %d mask entries for %d inputs", len(s.Mask), len(s.Inputs))
+	}
+	for t, x := range s.Inputs {
+		if len(x) != inputDim {
+			return fmt.Errorf("lstm: input %d has dim %d, want %d", t, len(x), inputDim)
+		}
+		if s.Labels[t] < 0 || s.Labels[t] >= classes {
+			if s.Mask == nil || s.Mask[t] {
+				return fmt.Errorf("lstm: label %d at t=%d out of range [0,%d)", s.Labels[t], t, classes)
+			}
+		}
+	}
+	return nil
+}
+
+// Network is a trained (or trainable) LSTM classifier.
+type Network struct {
+	cfg Config
+	rng *rand.Rand
+
+	// Gate parameters, stacked [input; forget; cell; output] along rows.
+	wx *mat.Matrix // (4H, In)
+	wh *mat.Matrix // (4H, H)
+	b  []float64   // 4H
+
+	// Readout.
+	wy *mat.Matrix // (C, H)
+	by []float64   // C
+
+	adam *adamState
+}
+
+// New builds a network with Xavier-style initialization.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h, in, c := cfg.Hidden, cfg.InputDim, cfg.Classes
+	n := &Network{
+		cfg: cfg,
+		rng: rng,
+		wx:  mat.Randn(4*h, in, 1/math.Sqrt(float64(in)), rng),
+		wh:  mat.Randn(4*h, h, 1/math.Sqrt(float64(h)), rng),
+		b:   make([]float64, 4*h),
+		wy:  mat.Randn(c, h, 1/math.Sqrt(float64(h)), rng),
+		by:  make([]float64, c),
+	}
+	// Positive forget-gate bias: the standard trick for remembering long
+	// spans (the voting models rely on it).
+	for j := h; j < 2*h; j++ {
+		n.b[j] = 1
+	}
+	n.adam = newAdamState(n)
+	return n, nil
+}
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// stepCache holds one timestep's forward intermediates for BPTT.
+type stepCache struct {
+	x             []float64
+	i, f, g, o    []float64
+	c, h, tanhC   []float64
+	probs         []float64
+	hPrev, cPrev  []float64
+	logitsBacked  bool
+	dLogitsCached []float64
+}
+
+// forward runs the network over the sequence, returning per-step caches.
+func (n *Network) forward(inputs [][]float64) []*stepCache {
+	h := n.cfg.Hidden
+	hPrev := make([]float64, h)
+	cPrev := make([]float64, h)
+	caches := make([]*stepCache, len(inputs))
+
+	for t, x := range inputs {
+		z := mat.MulVec(n.wx, x)
+		mat.AddVec(z, mat.MulVec(n.wh, hPrev))
+		mat.AddVec(z, n.b)
+
+		sc := &stepCache{
+			x: x,
+			i: make([]float64, h), f: make([]float64, h),
+			g: make([]float64, h), o: make([]float64, h),
+			c: make([]float64, h), h: make([]float64, h),
+			tanhC: make([]float64, h),
+			hPrev: hPrev, cPrev: cPrev,
+		}
+		for j := 0; j < h; j++ {
+			sc.i[j] = mat.Sigmoid(z[j])
+			sc.f[j] = mat.Sigmoid(z[h+j])
+			sc.g[j] = math.Tanh(z[2*h+j])
+			sc.o[j] = mat.Sigmoid(z[3*h+j])
+			sc.c[j] = sc.f[j]*cPrev[j] + sc.i[j]*sc.g[j]
+			sc.tanhC[j] = math.Tanh(sc.c[j])
+			sc.h[j] = sc.o[j] * sc.tanhC[j]
+		}
+		logits := mat.MulVec(n.wy, sc.h)
+		mat.AddVec(logits, n.by)
+		sc.probs = mat.Softmax(logits)
+
+		caches[t] = sc
+		hPrev, cPrev = sc.h, sc.c
+	}
+	return caches
+}
+
+// PredictProbs returns per-timestep class probabilities for the sequence.
+func (n *Network) PredictProbs(inputs [][]float64) ([][]float64, error) {
+	if len(inputs) == 0 {
+		return nil, errors.New("lstm: empty sequence")
+	}
+	for t, x := range inputs {
+		if len(x) != n.cfg.InputDim {
+			return nil, fmt.Errorf("lstm: input %d has dim %d, want %d", t, len(x), n.cfg.InputDim)
+		}
+	}
+	caches := n.forward(inputs)
+	out := make([][]float64, len(caches))
+	for t, sc := range caches {
+		out[t] = sc.probs
+	}
+	return out, nil
+}
+
+// Predict returns per-timestep argmax class predictions.
+func (n *Network) Predict(inputs [][]float64) ([]int, error) {
+	probs, err := n.PredictProbs(inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(probs))
+	for t, p := range probs {
+		out[t] = mat.ArgMax(p)
+	}
+	return out, nil
+}
+
+// grads mirrors the parameter set.
+type grads struct {
+	wx, wh, wy *mat.Matrix
+	b, by      []float64
+}
+
+func (n *Network) newGrads() *grads {
+	return &grads{
+		wx: mat.New(n.wx.Rows, n.wx.Cols),
+		wh: mat.New(n.wh.Rows, n.wh.Cols),
+		wy: mat.New(n.wy.Rows, n.wy.Cols),
+		b:  make([]float64, len(n.b)),
+		by: make([]float64, len(n.by)),
+	}
+}
+
+// backward accumulates gradients for one sequence and returns its summed
+// weighted cross-entropy loss and the number of counted timesteps.
+func (n *Network) backward(seq Sequence, g *grads) (float64, int) {
+	caches := n.forward(seq.Inputs)
+	h := n.cfg.Hidden
+
+	dhNext := make([]float64, h)
+	dcNext := make([]float64, h)
+	var loss float64
+	var counted int
+
+	for t := len(caches) - 1; t >= 0; t-- {
+		sc := caches[t]
+		dh := mat.CloneVec(dhNext)
+
+		if seq.Mask == nil || seq.Mask[t] {
+			label := seq.Labels[t]
+			w := 1.0
+			if n.cfg.ClassWeights != nil {
+				w = n.cfg.ClassWeights[label]
+			}
+			p := sc.probs[label]
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			loss += -w * math.Log(p)
+			counted++
+
+			dLogits := mat.CloneVec(sc.probs)
+			dLogits[label] -= 1
+			mat.ScaleVec(dLogits, w)
+
+			g.wy.AddOuter(dLogits, sc.h)
+			mat.AddVec(g.by, dLogits)
+			mat.AddVec(dh, mat.MulVecT(n.wy, dLogits))
+		}
+
+		// Through h = o * tanh(c).
+		do := make([]float64, h)
+		dc := mat.CloneVec(dcNext)
+		for j := 0; j < h; j++ {
+			do[j] = dh[j] * sc.tanhC[j] * sc.o[j] * (1 - sc.o[j])
+			dc[j] += dh[j] * sc.o[j] * (1 - sc.tanhC[j]*sc.tanhC[j])
+		}
+
+		// Through c = f*cPrev + i*g.
+		di := make([]float64, h)
+		df := make([]float64, h)
+		dg := make([]float64, h)
+		for j := 0; j < h; j++ {
+			di[j] = dc[j] * sc.g[j] * sc.i[j] * (1 - sc.i[j])
+			df[j] = dc[j] * sc.cPrev[j] * sc.f[j] * (1 - sc.f[j])
+			dg[j] = dc[j] * sc.i[j] * (1 - sc.g[j]*sc.g[j])
+			dcNext[j] = dc[j] * sc.f[j]
+		}
+
+		// Stack gate deltas and push through the affine transform.
+		dz := make([]float64, 4*h)
+		copy(dz[0:h], di)
+		copy(dz[h:2*h], df)
+		copy(dz[2*h:3*h], dg)
+		copy(dz[3*h:], do)
+
+		g.wx.AddOuter(dz, sc.x)
+		g.wh.AddOuter(dz, sc.hPrev)
+		mat.AddVec(g.b, dz)
+		dhNext = mat.MulVecT(n.wh, dz)
+	}
+	return loss, counted
+}
+
+// TrainResult reports one epoch of training.
+type TrainResult struct {
+	Epoch    int
+	AvgLoss  float64
+	Accuracy float64 // masked training accuracy
+}
+
+// Train runs the given number of epochs of per-sequence Adam updates over
+// the training set (shuffled each epoch) and returns per-epoch stats.
+func (n *Network) Train(seqs []Sequence, epochs int) ([]TrainResult, error) {
+	if len(seqs) == 0 {
+		return nil, errors.New("lstm: no training sequences")
+	}
+	if epochs <= 0 {
+		return nil, fmt.Errorf("lstm: epochs must be positive, got %d", epochs)
+	}
+	for i, s := range seqs {
+		if err := s.validate(n.cfg.InputDim, n.cfg.Classes); err != nil {
+			return nil, fmt.Errorf("sequence %d: %w", i, err)
+		}
+	}
+
+	order := make([]int, len(seqs))
+	for i := range order {
+		order[i] = i
+	}
+
+	results := make([]TrainResult, 0, epochs)
+	for epoch := 0; epoch < epochs; epoch++ {
+		n.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+		var totalLoss float64
+		var totalCounted, correct int
+		for _, idx := range order {
+			seq := seqs[idx]
+			g := n.newGrads()
+			loss, counted := n.backward(seq, g)
+			if counted == 0 {
+				continue
+			}
+			scale := 1 / float64(counted)
+			g.wx.Scale(scale)
+			g.wh.Scale(scale)
+			g.wy.Scale(scale)
+			mat.ScaleVec(g.b, scale)
+			mat.ScaleVec(g.by, scale)
+			n.clip(g)
+			n.adam.step(n, g)
+
+			totalLoss += loss
+			totalCounted += counted
+		}
+
+		// Masked training accuracy for monitoring.
+		for _, seq := range seqs {
+			pred, err := n.Predict(seq.Inputs)
+			if err != nil {
+				return nil, err
+			}
+			for t := range pred {
+				if seq.Mask != nil && !seq.Mask[t] {
+					continue
+				}
+				if pred[t] == seq.Labels[t] {
+					correct++
+				}
+			}
+		}
+		res := TrainResult{Epoch: epoch}
+		if totalCounted > 0 {
+			res.AvgLoss = totalLoss / float64(totalCounted)
+			res.Accuracy = float64(correct) / float64(totalCounted)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func (n *Network) clip(g *grads) {
+	lim := n.cfg.ClipAbs
+	g.wx.ClipInPlace(lim)
+	g.wh.ClipInPlace(lim)
+	g.wy.ClipInPlace(lim)
+	clipVec(g.b, lim)
+	clipVec(g.by, lim)
+}
+
+func clipVec(v []float64, lim float64) {
+	for i, x := range v {
+		if x > lim {
+			v[i] = lim
+		} else if x < -lim {
+			v[i] = -lim
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package lstm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"leakydnn/internal/mat"
+)
+
+// snapshot is the gob-serializable form of a trained network. Optimizer
+// state is intentionally dropped: a loaded model is for inference or fresh
+// fine-tuning.
+type snapshot struct {
+	Cfg Config
+	Wx  []float64
+	Wh  []float64
+	Wy  []float64
+	B   []float64
+	By  []float64
+}
+
+// Save writes the network's parameters to w.
+func (n *Network) Save(w io.Writer) error {
+	snap := snapshot{
+		Cfg: n.cfg,
+		Wx:  n.wx.Data,
+		Wh:  n.wh.Data,
+		Wy:  n.wy.Data,
+		B:   n.b,
+		By:  n.by,
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("lstm: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a network previously written by Save.
+func Load(r io.Reader) (*Network, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("lstm: load: %w", err)
+	}
+	n, err := New(snap.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	h, in, c := snap.Cfg.Hidden, snap.Cfg.InputDim, snap.Cfg.Classes
+	if len(snap.Wx) != 4*h*in || len(snap.Wh) != 4*h*h || len(snap.Wy) != c*h ||
+		len(snap.B) != 4*h || len(snap.By) != c {
+		return nil, fmt.Errorf("lstm: load: parameter sizes inconsistent with config")
+	}
+	n.wx = mat.FromSlice(4*h, in, snap.Wx)
+	n.wh = mat.FromSlice(4*h, h, snap.Wh)
+	n.wy = mat.FromSlice(c, h, snap.Wy)
+	n.b = snap.B
+	n.by = snap.By
+	n.adam = newAdamState(n)
+	return n, nil
+}

@@ -1,0 +1,211 @@
+// Package mat provides the small dense linear-algebra kernel used by the
+// learning components of the MoSConS reproduction (the LSTM inference models
+// and the gradient-boosted trees). It is deliberately minimal: row-major
+// float64 matrices with the handful of operations neural-network training
+// needs, implemented with bounds-checked shapes so dimension bugs fail fast.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero matrix with the given shape.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice returns a matrix that adopts data as its backing storage.
+// len(data) must equal rows*cols.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Randn returns a matrix with entries drawn from N(0, scale²).
+func Randn(rows, cols int, scale float64, rng *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * scale
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.checkIndex(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.checkIndex(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("mat: row %d out of range [0,%d)", i, m.Rows))
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets every element of m to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Shape returns the (rows, cols) pair.
+func (m *Matrix) Shape() (int, int) { return m.Rows, m.Cols }
+
+func (m *Matrix) checkIndex(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+func (m *Matrix) checkSameShape(n *Matrix, op string) {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+}
+
+// Mul computes a*b and returns a new matrix.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: mul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec computes a*x for a column vector x (len(x) == a.Cols).
+func MulVec(a *Matrix, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("mat: mulvec shape mismatch %dx%d * %d", a.Rows, a.Cols, len(x)))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		var sum float64
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// MulVecT computes aᵀ*x for a column vector x (len(x) == a.Rows).
+func MulVecT(a *Matrix, x []float64) []float64 {
+	if a.Rows != len(x) {
+		panic(fmt.Sprintf("mat: mulvecT shape mismatch %dx%dᵀ * %d", a.Rows, a.Cols, len(x)))
+	}
+	out := make([]float64, a.Cols)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			out[j] += v * xv
+		}
+	}
+	return out
+}
+
+// AddOuter accumulates the outer product x*yᵀ into m (m += x yᵀ).
+func (m *Matrix) AddOuter(x, y []float64) {
+	if m.Rows != len(x) || m.Cols != len(y) {
+		panic(fmt.Sprintf("mat: addouter shape mismatch %dx%d += %dx%d", m.Rows, m.Cols, len(x), len(y)))
+	}
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, yv := range y {
+			row[j] += xv * yv
+		}
+	}
+}
+
+// Add computes m += n in place.
+func (m *Matrix) Add(n *Matrix) {
+	m.checkSameShape(n, "add")
+	for i, v := range n.Data {
+		m.Data[i] += v
+	}
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled computes m += s*n in place.
+func (m *Matrix) AddScaled(n *Matrix, s float64) {
+	m.checkSameShape(n, "addscaled")
+	for i, v := range n.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// MaxAbs returns the largest absolute value in m (0 for an empty matrix).
+func (m *Matrix) MaxAbs() float64 {
+	var max float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// ClipInPlace clamps every element of m to [-limit, limit].
+func (m *Matrix) ClipInPlace(limit float64) {
+	for i, v := range m.Data {
+		if v > limit {
+			m.Data[i] = limit
+		} else if v < -limit {
+			m.Data[i] = -limit
+		}
+	}
+}

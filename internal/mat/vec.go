@@ -1,0 +1,130 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// AddVec computes dst += src element-wise.
+func AddVec(dst, src []float64) {
+	checkVecLen(dst, src, "addvec")
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// SubVec computes dst -= src element-wise.
+func SubVec(dst, src []float64) {
+	checkVecLen(dst, src, "subvec")
+	for i, v := range src {
+		dst[i] -= v
+	}
+}
+
+// HadamardVec computes dst *= src element-wise.
+func HadamardVec(dst, src []float64) {
+	checkVecLen(dst, src, "hadamardvec")
+	for i, v := range src {
+		dst[i] *= v
+	}
+}
+
+// ScaleVec multiplies every element of v by s in place.
+func ScaleVec(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// CloneVec returns a copy of v.
+func CloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	checkVecLen(a, b, "dot")
+	var sum float64
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum
+}
+
+// Softmax returns the softmax of logits as a fresh slice, computed in a
+// numerically stable way (shift by the max logit).
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	if len(logits) == 0 {
+		return out
+	}
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// ArgMax returns the index of the largest element of v (-1 for empty v).
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range v[1:] {
+		if x > v[best] {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// Sigmoid returns 1/(1+e^{-x}).
+func Sigmoid(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}
+
+// Mean returns the arithmetic mean of v (0 for empty v).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}
+
+// Std returns the population standard deviation of v (0 for len(v) < 2).
+func Std(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	mean := Mean(v)
+	var ss float64
+	for _, x := range v {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(v)))
+}
+
+func checkVecLen(a, b []float64, op string) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: %s length mismatch %d vs %d", op, len(a), len(b)))
+	}
+}

@@ -1,0 +1,283 @@
+// Package spy implements the adversary's CUDA program: the probe kernels the
+// paper evaluates in Table I (VectorAdd, VectorMul, MatMul, Conv100,
+// Conv200), the eight-kernel slow-down attack of §IV that stretches the
+// victim's ops so each yields multiple CUPTI samples, and the sampling
+// wiring that turns scheduler activity into the counter-vector stream the
+// inference models consume.
+package spy
+
+import (
+	"fmt"
+
+	"leakydnn/internal/cupti"
+	"leakydnn/internal/gpu"
+)
+
+// Kind selects a probe kernel.
+type Kind int
+
+// The five probe kernels of Table I.
+const (
+	VectorAdd Kind = iota + 1
+	VectorMul
+	MatMul
+	Conv100
+	Conv200
+)
+
+// String returns the probe kernel's name.
+func (k Kind) String() string {
+	switch k {
+	case VectorAdd:
+		return "VectorAdd"
+	case VectorMul:
+		return "VectorMul"
+	case MatMul:
+		return "MatMul"
+	case Conv100:
+		return "Conv100"
+	case Conv200:
+		return "Conv200"
+	}
+	return fmt.Sprintf("spy.Kind(%d)", int(k))
+}
+
+// Kinds returns every probe kernel kind in Table I order.
+func Kinds() []Kind {
+	return []Kind{VectorAdd, VectorMul, MatMul, Conv100, Conv200}
+}
+
+// probeSpec describes a probe kernel at paper scale (duration and traffic of
+// one launch). Conv200 has the largest working set and the richest traffic
+// mix — the property that makes it the paper's best probe: its refetch
+// penalty after every victim slice is both the largest and the most stable.
+type probeSpec struct {
+	duration   gpu.Nanos
+	read       float64
+	write      float64
+	tex        float64
+	working    float64
+	texWorking float64
+}
+
+var probeSpecs = map[Kind]probeSpec{
+	VectorAdd: {duration: 800 * gpu.Microsecond, read: 96 << 10, write: 48 << 10, working: 8 << 10},
+	VectorMul: {duration: 800 * gpu.Microsecond, read: 96 << 10, write: 48 << 10, working: 12 << 10},
+	MatMul:    {duration: 4 * gpu.Millisecond, read: 4800 << 10, write: 64 << 10, working: 512 << 10},
+	Conv100:   {duration: 1200 * gpu.Microsecond, read: 1200 << 10, write: 600 << 10, tex: 1200 << 10, working: 768 << 10, texWorking: 384 << 10},
+	Conv200:   {duration: 2500 * gpu.Microsecond, read: 4 << 20, write: 1900 << 10, tex: 4 << 20, working: 2 << 20, texWorking: 1 << 20},
+}
+
+// The probe's launch geometry: 4 blocks of 32 threads, taking 4 SMs (§III-C).
+const (
+	probeBlocks  = 4
+	probeThreads = 32
+)
+
+// ProbeKernel returns the probe kernel profile. timeScale scales the
+// kernel's duration and traffic (1 = the paper's platform; unit tests use
+// small scales to keep simulated runs short).
+func ProbeKernel(kind Kind, timeScale float64) (gpu.KernelProfile, error) {
+	spec, ok := probeSpecs[kind]
+	if !ok {
+		return gpu.KernelProfile{}, fmt.Errorf("spy: unknown probe kind %d", int(kind))
+	}
+	if timeScale <= 0 {
+		return gpu.KernelProfile{}, fmt.Errorf("spy: timeScale must be positive, got %v", timeScale)
+	}
+	d := gpu.Nanos(float64(spec.duration) * timeScale)
+	if d < 1 {
+		d = 1
+	}
+	// Traffic and working set scale with time so that rates — and therefore
+	// every eviction/warm-up ratio the side channel depends on — are
+	// invariant under timeScale.
+	return gpu.KernelProfile{
+		Name:               "spy." + kind.String(),
+		FixedDuration:      d,
+		ReadBytes:          spec.read * timeScale,
+		WriteBytes:         spec.write * timeScale,
+		TexBytes:           spec.tex * timeScale,
+		WorkingSetBytes:    spec.working * timeScale,
+		TexWorkingSetBytes: spec.texWorking * timeScale,
+		Blocks:             probeBlocks,
+		ThreadsPerBlock:    probeThreads,
+	}, nil
+}
+
+// SlowdownKernels returns the paper's slow-down attack kernels: 8 kernels in
+// 4 groups of 2, group Gi launching 4·2^i blocks of 4·2^i·32 threads. Their
+// heavy streaming traffic both steals round-robin slots from the victim and
+// flushes its L2 working set on every rotation.
+func SlowdownKernels(timeScale float64) []gpu.KernelProfile {
+	var out []gpu.KernelProfile
+	for group := 0; group < 4; group++ {
+		blocks := 4 << group
+		threads := blocks * 32
+		d := gpu.Nanos(float64(5*gpu.Millisecond) * timeScale)
+		if d < 1 {
+			d = 1
+		}
+		for j := 0; j < 2; j++ {
+			// Slow-down kernels are the same dummy convolutions as the
+			// probe: they burn scheduler slots to stretch the victim AND
+			// multiply the spy's cache-resident sensor area — every victim
+			// slice's evictions are repaid across all eight working sets,
+			// amplifying the counter-visible penalty.
+			out = append(out, gpu.KernelProfile{
+				Name:               fmt.Sprintf("spy.slowdown.G%d.%d", group, j),
+				FixedDuration:      d,
+				ReadBytes:          float64(4<<20) * timeScale,
+				WriteBytes:         float64(1<<20) * timeScale,
+				TexBytes:           float64(4<<20) * timeScale,
+				WorkingSetBytes:    float64(2<<20) * timeScale,
+				TexWorkingSetBytes: float64(1<<20) * timeScale,
+				Blocks:             blocks,
+				ThreadsPerBlock:    threads,
+			})
+		}
+	}
+	return out
+}
+
+// Config describes a spy deployment.
+type Config struct {
+	// Ctx is the spy process's CUDA context id.
+	Ctx gpu.ContextID
+	// Probe selects the probe kernel (the paper settles on Conv200).
+	Probe Kind
+	// Slowdown launches the eight slow-down kernels alongside the probe.
+	Slowdown bool
+	// TimeScale scales kernel durations (1 = paper platform).
+	TimeScale float64
+	// SamplePeriod is the fixed CUPTI polling period of the spy's host
+	// thread. Zero selects per-probe-kernel sampling instead.
+	SamplePeriod gpu.Nanos
+	// Events selects which CUPTI counters the spy enables (nil = the
+	// paper's ten of Table IV). Every enabled counter group adds collection
+	// overhead to the probe kernel (§IV), and disabled counters read zero.
+	Events []cupti.Event
+	// Driver, when set, is consulted before profiling: a patched driver
+	// (§II-D) denies CUPTI access until the adversary downgrades it.
+	Driver *cupti.Driver
+}
+
+// Program is a deployed spy: its kernels attached to an engine plus the
+// CUPTI sampler receiving its counter stream.
+type Program struct {
+	cfg           Config
+	probe         gpu.KernelProfile
+	windowSampler *cupti.WindowSampler
+	kernelSampler *cupti.KernelSampler
+	probeSource   *gpu.RepeatSource
+}
+
+// NewProgram validates cfg and prepares the spy's kernels and sampler.
+func NewProgram(cfg Config) (*Program, error) {
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.Driver != nil {
+		if err := cfg.Driver.CheckAccess(); err != nil {
+			return nil, fmt.Errorf("spy: cannot initialize CUPTI: %w", err)
+		}
+	}
+	probe, err := ProbeKernel(cfg.Probe, cfg.TimeScale)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Events == nil {
+		cfg.Events = cupti.SelectedEvents()
+	}
+	// Each enabled counter group adds a collection pass to the probe
+	// kernel, reducing the sampling rate (§IV).
+	probe.FixedDuration = gpu.Nanos(float64(probe.FixedDuration) * cupti.ProfilingOverhead(cfg.Events))
+	p := &Program{cfg: cfg, probe: probe}
+	if cfg.SamplePeriod > 0 {
+		p.windowSampler, err = cupti.NewWindowSampler(cfg.Ctx, cfg.SamplePeriod)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		p.kernelSampler = cupti.NewKernelSampler(cfg.Ctx, probe.Name)
+	}
+	return p, nil
+}
+
+// AttachTimeSliced adds the spy's channels to a time-sliced engine.
+func (p *Program) AttachTimeSliced(eng *gpu.Engine) {
+	p.probeSource = &gpu.RepeatSource{Kernel: p.probe}
+	eng.AddChannel(p.cfg.Ctx, p.probeSource)
+	if p.cfg.Slowdown {
+		for _, k := range SlowdownKernels(p.cfg.TimeScale) {
+			eng.AddChannel(p.cfg.Ctx, &gpu.RepeatSource{Kernel: k})
+		}
+	}
+}
+
+// AttachMPS adds the spy as a leftover-policy secondary under MPS.
+func (p *Program) AttachMPS(eng *gpu.MPSEngine) {
+	p.probeSource = &gpu.RepeatSource{Kernel: p.probe}
+	eng.AddSecondary(p.cfg.Ctx, p.probeSource)
+	if p.cfg.Slowdown {
+		for _, k := range SlowdownKernels(p.cfg.TimeScale) {
+			eng.AddSecondary(p.cfg.Ctx, &gpu.RepeatSource{Kernel: k})
+		}
+	}
+}
+
+// ObserveSlice routes a scheduler slice to the spy's sampler; wire it into
+// the engine's OnSlice hook.
+func (p *Program) ObserveSlice(rec gpu.SliceRecord) {
+	if p.windowSampler != nil {
+		p.windowSampler.Observe(rec)
+	} else {
+		p.kernelSampler.Observe(rec)
+	}
+}
+
+// ObserveKernelEnd routes a kernel completion to the per-kernel sampler;
+// wire it into the engine's OnKernelEnd hook.
+func (p *Program) ObserveKernelEnd(span gpu.KernelSpan) {
+	if p.kernelSampler != nil {
+		p.kernelSampler.ObserveKernelEnd(span)
+	}
+}
+
+// Samples returns the CUPTI samples collected so far, closing any pending
+// fixed-period window at time `at`. Counters outside the enabled event set
+// read zero, as a real CUPTI session only returns configured events.
+func (p *Program) Samples(at gpu.Nanos) []cupti.Sample {
+	var samples []cupti.Sample
+	if p.windowSampler != nil {
+		samples = p.windowSampler.Finish(at)
+	} else {
+		samples = p.kernelSampler.Samples()
+	}
+	if len(p.cfg.Events) == int(cupti.NumEvents) {
+		return samples
+	}
+	enabled := make(map[cupti.Event]bool, len(p.cfg.Events))
+	for _, e := range p.cfg.Events {
+		enabled[e] = true
+	}
+	masked := make([]cupti.Sample, len(samples))
+	for i, s := range samples {
+		m := s
+		for e := cupti.Event(0); e < cupti.NumEvents; e++ {
+			if !enabled[e] {
+				m.Values[e] = 0
+			}
+		}
+		masked[i] = m
+	}
+	return masked
+}
+
+// ProbeLaunches returns how many probe kernels have been launched.
+func (p *Program) ProbeLaunches() int {
+	if p.probeSource == nil {
+		return 0
+	}
+	return p.probeSource.Launched()
+}

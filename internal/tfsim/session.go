@@ -1,0 +1,110 @@
+// Package tfsim emulates the DNN system stack of the victim: a
+// TensorFlow-like session that compiles a model into its per-iteration op
+// sequence, feeds the resulting kernels to the GPU simulator iteration after
+// iteration (serialized on the compute stream, with host gaps between
+// iterations), and — when tracing is enabled — records the timeline the
+// adversary uses to label her profiling data, in the same spirit as
+// TensorFlow's timeline module.
+package tfsim
+
+import (
+	"fmt"
+
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/gpu"
+)
+
+// Config controls a training session.
+type Config struct {
+	// Iterations is the number of training iterations to run.
+	Iterations int
+	// IterGap is the host-side pause between iterations (input pipeline,
+	// optimizer bookkeeping, H2D transfer). During it the GPU is idle from
+	// the victim's side — the NOP period Mgap detects.
+	IterGap gpu.Nanos
+}
+
+// DefaultConfig returns a session configuration with a realistic
+// inter-iteration host gap.
+func DefaultConfig(iterations int) Config {
+	return Config{Iterations: iterations, IterGap: 4 * gpu.Millisecond}
+}
+
+// IterOp tags every victim kernel with its op and training iteration; the
+// timeline and the dataset builder read it back from kernel spans.
+type IterOp struct {
+	Op        *dnn.Op
+	Iteration int
+}
+
+// Session is one victim training process.
+type Session struct {
+	model dnn.Model
+	ops   []dnn.Op
+	cfg   Config
+	dev   gpu.DeviceConfig
+}
+
+// NewSession compiles the model and prepares its training run.
+func NewSession(m dnn.Model, cfg Config, dev gpu.DeviceConfig) (*Session, error) {
+	if cfg.Iterations <= 0 {
+		return nil, fmt.Errorf("tfsim: iterations must be positive, got %d", cfg.Iterations)
+	}
+	if cfg.IterGap < 0 {
+		return nil, fmt.Errorf("tfsim: negative iteration gap %d", cfg.IterGap)
+	}
+	ops, err := dnn.Compile(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{model: m, ops: ops, cfg: cfg, dev: dev}, nil
+}
+
+// Model returns the session's model definition.
+func (s *Session) Model() dnn.Model { return s.model }
+
+// Ops returns the compiled per-iteration op sequence.
+func (s *Session) Ops() []dnn.Op { return s.ops }
+
+// OpsPerIteration returns the length of one iteration's op sequence.
+func (s *Session) OpsPerIteration() int { return len(s.ops) }
+
+// IterationDuration returns the exclusive-device time of one iteration.
+func (s *Session) IterationDuration() gpu.Nanos {
+	return dnn.IterationDuration(s.ops, s.dev)
+}
+
+// Source returns a fresh kernel source feeding Iterations repetitions of the
+// op sequence to the GPU engine, separated by the host gap.
+func (s *Session) Source() gpu.Source {
+	return &sessionSource{session: s}
+}
+
+type sessionSource struct {
+	session *Session
+	iter    int
+	opIdx   int
+}
+
+// Next implements gpu.Source.
+func (src *sessionSource) Next(now gpu.Nanos) (gpu.KernelProfile, gpu.Nanos, bool) {
+	s := src.session
+	if src.iter >= s.cfg.Iterations {
+		return gpu.KernelProfile{}, 0, false
+	}
+	op := &s.ops[src.opIdx]
+	k := op.Kernel(s.dev)
+	k.Tag = IterOp{Op: op, Iteration: src.iter}
+
+	notBefore := now
+	if src.opIdx == 0 {
+		notBefore = now + s.cfg.IterGap
+	}
+
+	src.opIdx++
+	if src.opIdx == len(s.ops) {
+		src.opIdx = 0
+		src.iter++
+	}
+	return k, notBefore, true
+}

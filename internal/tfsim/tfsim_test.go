@@ -1,0 +1,242 @@
+package tfsim
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/gpu"
+	"leakydnn/internal/zoo"
+)
+
+func testDevice() gpu.DeviceConfig {
+	cfg := gpu.DefaultDeviceConfig()
+	cfg.JitterFrac = 0
+	cfg.NoiseFrac = 0
+	cfg.SubpImbalance = 0
+	return cfg
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	dev := testDevice()
+	if _, err := NewSession(zoo.TinyMLP(), Config{Iterations: 0}, dev); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+	if _, err := NewSession(zoo.TinyMLP(), Config{Iterations: 1, IterGap: -1}, dev); err == nil {
+		t.Fatal("negative gap accepted")
+	}
+	bad := zoo.TinyMLP()
+	bad.Batch = 0
+	if _, err := NewSession(bad, DefaultConfig(1), dev); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+// Running a session alone must produce each op once per iteration, in
+// compile order, with iteration tags.
+func TestSessionEmitsIterationsInOrder(t *testing.T) {
+	dev := testDevice()
+	const iters = 3
+	sess, err := NewSession(zoo.TinyMLP(), Config{Iterations: iters, IterGap: gpu.Millisecond}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := gpu.NewEngine(dev, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl Timeline
+	eng.OnKernelEnd = tl.Observe
+	eng.AddChannel(1, sess.Source())
+	eng.Run(10 * gpu.Second)
+
+	events := tl.Events()
+	wantOps := sess.OpsPerIteration() * iters
+	if len(events) != wantOps {
+		t.Fatalf("observed %d op executions, want %d", len(events), wantOps)
+	}
+	if tl.Iterations() != iters {
+		t.Fatalf("Iterations() = %d, want %d", tl.Iterations(), iters)
+	}
+	for i, e := range events {
+		wantSeq := i % sess.OpsPerIteration()
+		wantIter := i / sess.OpsPerIteration()
+		if e.Op.Seq != wantSeq || e.Iteration != wantIter {
+			t.Fatalf("event %d: seq=%d iter=%d, want seq=%d iter=%d",
+				i, e.Op.Seq, e.Iteration, wantSeq, wantIter)
+		}
+	}
+}
+
+func TestIterationGapSeparatesIterations(t *testing.T) {
+	dev := testDevice()
+	gap := 5 * gpu.Millisecond
+	sess, err := NewSession(zoo.TinyMLP(), Config{Iterations: 2, IterGap: gap}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := gpu.NewEngine(dev, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl Timeline
+	eng.OnKernelEnd = tl.Observe
+	eng.AddChannel(1, sess.Source())
+	eng.Run(10 * gpu.Second)
+
+	_, end0, ok0 := tl.IterationSpan(0)
+	start1, _, ok1 := tl.IterationSpan(1)
+	if !ok0 || !ok1 {
+		t.Fatal("missing iteration spans")
+	}
+	if idle := start1 - end0; idle < gap {
+		t.Fatalf("inter-iteration idle = %v, want >= %v", idle, gap)
+	}
+}
+
+func TestDominantOpLabelling(t *testing.T) {
+	tl := &Timeline{}
+	op1 := &dnn.Op{Kind: dnn.OpConv2D, Seq: 0}
+	op2 := &dnn.Op{Kind: dnn.OpReLU, Seq: 1}
+	tl.Observe(gpu.KernelSpan{
+		Kernel: gpu.KernelProfile{Name: "Conv2D", Tag: IterOp{Op: op1}},
+		Start:  0, End: 100,
+	})
+	tl.Observe(gpu.KernelSpan{
+		Kernel: gpu.KernelProfile{Name: "ReLU", Tag: IterOp{Op: op2}},
+		Start:  100, End: 130,
+	})
+
+	if e, ok := tl.DominantOp(80, 120); !ok || e.Op != op1 {
+		t.Fatalf("DominantOp(80,120) = %+v, %v; want Conv2D", e, ok)
+	}
+	if e, ok := tl.DominantOp(95, 130); !ok || e.Op != op2 {
+		t.Fatalf("DominantOp(95,130) = %+v, %v; want ReLU", e, ok)
+	}
+	if _, ok := tl.DominantOp(200, 300); ok {
+		t.Fatal("DominantOp found an op inside a gap")
+	}
+}
+
+func TestTimelineIgnoresSpyKernels(t *testing.T) {
+	tl := &Timeline{}
+	tl.Observe(gpu.KernelSpan{Kernel: gpu.KernelProfile{Name: "spy.Conv200"}, Start: 0, End: 10})
+	if len(tl.Events()) != 0 {
+		t.Fatal("timeline recorded an untagged kernel")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	dev := testDevice()
+	sess, err := NewSession(zoo.TinyCNN(), Config{Iterations: 1, IterGap: gpu.Millisecond}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := gpu.NewEngine(dev, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl Timeline
+	eng.OnKernelEnd = tl.Observe
+	eng.AddChannel(1, sess.Source())
+	eng.Run(10 * gpu.Second)
+
+	raw, err := tl.MarshalChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			Dur   float64        `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != sess.OpsPerIteration() {
+		t.Fatalf("trace has %d events, want %d", len(doc.TraceEvents), sess.OpsPerIteration())
+	}
+	if doc.TraceEvents[0].Name != "Conv2D" || doc.TraceEvents[0].Phase != "X" {
+		t.Fatalf("first event = %+v, want complete-phase Conv2D", doc.TraceEvents[0])
+	}
+	if doc.TraceEvents[0].Args["filters"] == nil {
+		t.Fatal("conv event lacks hyper-parameter args")
+	}
+}
+
+func TestIterationDurationMatchesPaperScaleForVGG16(t *testing.T) {
+	// The paper reports a solo VGG16 iteration at 431 ms on the GTX 1080 Ti.
+	// Our cost model should land in the same order of magnitude.
+	dev := gpu.DefaultDeviceConfig()
+	sess, err := NewSession(zoo.VGG16(), DefaultConfig(1), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sess.IterationDuration()
+	if d < 100*gpu.Millisecond || d > 2000*gpu.Millisecond {
+		t.Fatalf("VGG16 iteration duration = %v ms, want within [100, 2000] ms (paper: 431 ms)",
+			d/gpu.Millisecond)
+	}
+}
+
+// A recurrent model's session must execute the unrolled cell: the timeline
+// shows the per-step MatMul/Tanh pairs (the structure that defeats MoSConS).
+func TestSessionRunsRNN(t *testing.T) {
+	dev := testDevice()
+	sess, err := NewSession(zoo.TinyRNN(), Config{Iterations: 1, IterGap: gpu.Millisecond}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := gpu.NewEngine(dev, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl Timeline
+	eng.OnKernelEnd = tl.Observe
+	eng.AddChannel(1, sess.Source())
+	eng.Run(10 * gpu.Second)
+
+	var matmuls, tanhs int
+	for _, e := range tl.Events() {
+		switch e.Name {
+		case "MatMul":
+			matmuls++
+		case "Tanh":
+			tanhs++
+		}
+	}
+	if matmuls < 17 || tanhs < 16 {
+		t.Fatalf("RNN timeline has %d MatMul / %d Tanh events, want >= 17/16", matmuls, tanhs)
+	}
+}
+
+// A residual model's session must execute the shortcut adds.
+func TestSessionRunsResNet(t *testing.T) {
+	dev := testDevice()
+	sess, err := NewSession(zoo.TinyResNet(), Config{Iterations: 1, IterGap: gpu.Millisecond}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := gpu.NewEngine(dev, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl Timeline
+	eng.OnKernelEnd = tl.Observe
+	eng.AddChannel(1, sess.Source())
+	eng.Run(10 * gpu.Second)
+
+	var adds int
+	for _, e := range tl.Events() {
+		if e.Name == "ResidualAdd" || e.Name == "ResidualAddGrad" {
+			adds++
+		}
+	}
+	if adds != 4 {
+		t.Fatalf("ResNet timeline has %d residual ops, want 4 (2 fwd + 2 bwd)", adds)
+	}
+}

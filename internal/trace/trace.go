@@ -1,0 +1,212 @@
+// Package trace orchestrates co-runs of a victim training session and the
+// spy on one simulated GPU, and aligns the spy's CUPTI samples with the
+// victim's timeline to produce the labelled datasets the attack's inference
+// models are trained on (§V-A: "aligning the model's ops with spy's readings
+// using the TensorFlow timeline profiler").
+package trace
+
+import (
+	"fmt"
+
+	"leakydnn/internal/cupti"
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/gpu"
+	"leakydnn/internal/spy"
+	"leakydnn/internal/tfsim"
+
+	"math/rand"
+)
+
+// Context ids used by every co-run.
+const (
+	VictimCtx gpu.ContextID = 1
+	SpyCtx    gpu.ContextID = 2
+)
+
+// RunConfig describes one co-run.
+type RunConfig struct {
+	Device  gpu.DeviceConfig
+	Session tfsim.Config
+	Spy     spy.Config
+	// Seed drives all simulator randomness.
+	Seed int64
+	// Horizon caps the simulated duration as a safety net. Zero derives a
+	// generous bound from the victim's workload.
+	Horizon gpu.Nanos
+	// BackgroundTenants are additional co-located training processes (the
+	// paper's "more than two users" setting, §VI limitation 5). Each runs
+	// endlessly on its own context, adding scheduling non-determinism that
+	// degrades the spy's view.
+	BackgroundTenants []dnn.Model
+}
+
+// Trace is the outcome of one co-run: the spy-side samples and the
+// victim-side ground truth.
+type Trace struct {
+	Model    dnn.Model
+	Ops      []dnn.Op
+	Samples  []cupti.Sample
+	Timeline *tfsim.Timeline
+	// VictimWall is the victim's wall-clock time from its first op start to
+	// its last op end (the slow-down attack's effect shows up here).
+	VictimWall gpu.Nanos
+	// SpyProbeLaunches counts completed+launched probe kernels.
+	SpyProbeLaunches int
+}
+
+// Collect runs the victim and spy together under the time-sliced scheduler
+// and returns the aligned trace. Set cfg.Spy.Ctx before calling or leave it
+// zero to use the conventional SpyCtx.
+func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
+	if cfg.Spy.Ctx == 0 {
+		cfg.Spy.Ctx = SpyCtx
+	}
+	sess, err := tfsim.NewSession(m, cfg.Session, cfg.Device)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := spy.NewProgram(cfg.Spy)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	eng, err := gpu.NewEngine(cfg.Device, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	tl := &tfsim.Timeline{}
+	totalOps := sess.OpsPerIteration() * cfg.Session.Iterations
+	victimDone := 0
+	eng.OnSlice = prog.ObserveSlice
+	eng.OnKernelEnd = func(span gpu.KernelSpan) {
+		prog.ObserveKernelEnd(span)
+		// Only the victim's ops form the ground-truth timeline; background
+		// tenants' kernels are just scheduling noise from the spy's view.
+		if span.Ctx == VictimCtx {
+			tl.Observe(span)
+			victimDone++
+		}
+	}
+
+	eng.AddChannel(VictimCtx, sess.Source())
+	prog.AttachTimeSliced(eng)
+	for i, tenant := range cfg.BackgroundTenants {
+		tsess, err := tfsim.NewSession(tenant, tfsim.Config{
+			Iterations: 1 << 30, // trains for the whole run
+			IterGap:    cfg.Session.IterGap,
+		}, cfg.Device)
+		if err != nil {
+			return nil, fmt.Errorf("trace: tenant %s: %w", tenant.Name, err)
+		}
+		eng.AddChannel(SpyCtx+1+gpu.ContextID(i), tsess.Source())
+	}
+
+	horizon := cfg.Horizon
+	if horizon == 0 {
+		// Generous bound: 100x the exclusive-device time plus gaps.
+		per := sess.IterationDuration() + cfg.Session.IterGap
+		horizon = 100*per*gpu.Nanos(cfg.Session.Iterations) + gpu.Second
+	}
+	step := sess.IterationDuration()/4 + gpu.Millisecond
+	for victimDone < totalOps && eng.Now() < horizon {
+		eng.Run(eng.Now() + step)
+	}
+	if victimDone < totalOps {
+		return nil, fmt.Errorf("trace: victim completed %d/%d ops before horizon %v",
+			victimDone, totalOps, horizon)
+	}
+	// Tail: let trailing NOP windows materialize.
+	tail := cfg.Spy.SamplePeriod * 4
+	if tail > 0 {
+		eng.Run(eng.Now() + tail)
+	}
+
+	var wall gpu.Nanos
+	first, _, ok0 := tl.IterationSpan(0)
+	_, last, ok1 := tl.IterationSpan(cfg.Session.Iterations - 1)
+	if ok0 && ok1 {
+		wall = last - first
+	}
+
+	return &Trace{
+		Model:            m,
+		Ops:              sess.Ops(),
+		Samples:          prog.Samples(eng.Now()),
+		Timeline:         tl,
+		VictimWall:       wall,
+		SpyProbeLaunches: prog.ProbeLaunches(),
+	}, nil
+}
+
+// Label is the ground truth attached to one CUPTI sample.
+type Label struct {
+	// IsNOP marks samples dominated by victim idleness.
+	IsNOP bool
+	// Kind is the dominant op (zero when IsNOP).
+	Kind dnn.OpKind
+	// Long is the Mlong class.
+	Long dnn.LongClass
+	// Letter is the Table VII op letter ('N' for NOP).
+	Letter byte
+	// Iteration is the dominant op's training iteration (-1 when IsNOP).
+	Iteration int
+	// Op points at the dominant op's descriptor (nil when IsNOP).
+	Op *dnn.Op
+}
+
+// Labels aligns every sample with the timeline using the largest-overlap
+// rule and returns per-sample ground truth. Samples and timeline events both
+// arrive in time order, so the alignment is a linear two-pointer sweep.
+func (t *Trace) Labels() []Label {
+	events := t.Timeline.Events()
+	out := make([]Label, len(t.Samples))
+	idx := 0
+	for i, s := range t.Samples {
+		// Skip events that end before this sample starts.
+		for idx < len(events) && events[idx].End <= s.Start {
+			idx++
+		}
+		var (
+			best    tfsim.TimelineEvent
+			bestLen gpu.Nanos
+			found   bool
+		)
+		for j := idx; j < len(events) && events[j].Start < s.End; j++ {
+			lo, hi := events[j].Start, events[j].End
+			if lo < s.Start {
+				lo = s.Start
+			}
+			if hi > s.End {
+				hi = s.End
+			}
+			if overlap := hi - lo; overlap > bestLen {
+				best, bestLen, found = events[j], overlap, true
+			}
+		}
+		if !found {
+			out[i] = Label{IsNOP: true, Long: dnn.LongNOP, Letter: 'N', Iteration: -1}
+			continue
+		}
+		out[i] = Label{
+			Kind:      best.Op.Kind,
+			Long:      best.Op.Kind.LongClass(),
+			Letter:    best.Op.Kind.Letter(),
+			Iteration: best.Iteration,
+			Op:        best.Op,
+		}
+	}
+	return out
+}
+
+// SamplesPerIteration returns, for each observed iteration, how many samples
+// were dominated by that iteration's ops.
+func (t *Trace) SamplesPerIteration() map[int]int {
+	counts := make(map[int]int)
+	for _, l := range t.Labels() {
+		if !l.IsNOP {
+			counts[l.Iteration]++
+		}
+	}
+	return counts
+}

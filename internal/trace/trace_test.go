@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"testing"
+
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/gpu"
+	"leakydnn/internal/spy"
+	"leakydnn/internal/tfsim"
+	"leakydnn/internal/zoo"
+)
+
+// fastRun returns a RunConfig scaled so tiny models produce traces in
+// milliseconds of wall-clock compute.
+func fastRun(seed int64, iterations int, slowdown bool) RunConfig {
+	dev := gpu.DefaultDeviceConfig().ScaledTime(0.002)
+	return RunConfig{
+		Device: dev,
+		Session: tfsim.Config{
+			Iterations: iterations,
+			IterGap:    40 * gpu.Microsecond,
+		},
+		Spy: spy.Config{
+			Probe:        spy.Conv200,
+			Slowdown:     slowdown,
+			TimeScale:    0.002,
+			SamplePeriod: 8 * gpu.Microsecond,
+		},
+		Seed: seed,
+	}
+}
+
+func TestCollectProducesAlignedTrace(t *testing.T) {
+	tr, err := Collect(zoo.TinyCNN(), fastRun(1, 3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	if tr.Timeline.Iterations() != 3 {
+		t.Fatalf("timeline iterations = %d, want 3", tr.Timeline.Iterations())
+	}
+	labels := tr.Labels()
+	if len(labels) != len(tr.Samples) {
+		t.Fatalf("labels %d != samples %d", len(labels), len(tr.Samples))
+	}
+	var nop, conv, matmul, other int
+	for _, l := range labels {
+		switch l.Long {
+		case dnn.LongNOP:
+			nop++
+		case dnn.LongConv:
+			conv++
+		case dnn.LongMatMul:
+			matmul++
+		case dnn.LongOther:
+			other++
+		}
+	}
+	if nop == 0 {
+		t.Error("no NOP samples despite inter-iteration gaps")
+	}
+	if conv == 0 || matmul == 0 || other == 0 {
+		t.Errorf("class coverage missing: conv=%d matmul=%d other=%d", conv, matmul, other)
+	}
+}
+
+func TestLabelsCarryHyperParameters(t *testing.T) {
+	tr, err := Collect(zoo.TinyCNN(), fastRun(2, 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundConv := false
+	for _, l := range tr.Labels() {
+		if l.Long == dnn.LongConv && l.Op != nil {
+			foundConv = true
+			if l.Op.NumFilters <= 0 || l.Op.FilterSize <= 0 {
+				t.Fatalf("conv label lacks hyper-parameters: %+v", l.Op)
+			}
+		}
+	}
+	if !foundConv {
+		t.Fatal("no conv samples labelled")
+	}
+}
+
+func TestSlowdownIncreasesSamplesPerIteration(t *testing.T) {
+	withOut, err := Collect(zoo.TinyCNN(), fastRun(3, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Collect(zoo.TinyCNN(), fastRun(3, 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumOf := func(tr *Trace) int {
+		total := 0
+		for _, n := range tr.SamplesPerIteration() {
+			total += n
+		}
+		return total
+	}
+	if sumOf(with) <= sumOf(withOut) {
+		t.Fatalf("slow-down attack did not increase per-iteration samples: with=%d without=%d",
+			sumOf(with), sumOf(withOut))
+	}
+	if with.VictimWall <= withOut.VictimWall {
+		t.Fatalf("slow-down attack did not stretch the victim: with=%v without=%v",
+			with.VictimWall, withOut.VictimWall)
+	}
+}
+
+func TestCollectDeterministicUnderSeed(t *testing.T) {
+	a, err := Collect(zoo.TinyMLP(), fastRun(7, 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(zoo.TinyMLP(), fastRun(7, 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i].Values != b.Samples[i].Values {
+			t.Fatalf("sample %d differs between identical seeded runs", i)
+		}
+	}
+}
+
+func TestCollectHorizonGuard(t *testing.T) {
+	cfg := fastRun(4, 50, true)
+	cfg.Horizon = 10 * gpu.Microsecond // absurdly small
+	if _, err := Collect(zoo.TinyCNN(), cfg); err == nil {
+		t.Fatal("horizon overrun not reported")
+	}
+}
+
+// NOP windows must read differently from busy windows: with the victim idle
+// the spy owns the device, so its own-traffic counters are much larger. This
+// is the separation Mgap exploits (paper Table II's NOP row). The contrast
+// is strongest in the paper's pilot configuration — a single probe kernel,
+// no slow-down siblings — which is what this test uses.
+func TestNOPWindowsReadHigherThanBusyWindows(t *testing.T) {
+	tr, err := Collect(zoo.TinyCNN(), fastRun(5, 3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := tr.Labels()
+	var nopSum, busySum float64
+	var nopN, busyN int
+	for i, s := range tr.Samples {
+		traffic := s.Values[2] + s.Values[3] + s.Values[4] + s.Values[5] // fb r/w
+		if labels[i].IsNOP {
+			nopSum += traffic
+			nopN++
+		} else {
+			busySum += traffic
+			busyN++
+		}
+	}
+	if nopN == 0 || busyN == 0 {
+		t.Fatalf("need both classes: nop=%d busy=%d", nopN, busyN)
+	}
+	nopAvg, busyAvg := nopSum/float64(nopN), busySum/float64(busyN)
+	if nopAvg <= busyAvg*1.5 {
+		t.Fatalf("NOP windows not distinguishable: nop avg %.0f vs busy avg %.0f", nopAvg, busyAvg)
+	}
+}

@@ -1,0 +1,123 @@
+package zoo
+
+import "leakydnn/internal/dnn"
+
+// TinyProfiledModels is the scaled-down analogue of the paper's profiling
+// set (Table V): one CNN, one MLP and one VGG-style stack covering every op
+// letter and the hyper-parameter values of the tiny tested set.
+func TinyProfiledModels() []dnn.Model {
+	return []dnn.Model{
+		{
+			Name: "tiny-prof-cnn", Input: dnn.Shape{H: 32, W: 32, C: 3}, Batch: 16,
+			Layers: []dnn.Layer{
+				dnn.Conv(5, 32, 2, dnn.ActReLU),
+				dnn.MaxPool(),
+				dnn.Conv(3, 64, 1, dnn.ActReLU),
+				dnn.FC(128, dnn.ActTanh),
+				dnn.FC(10, dnn.ActSigmoid),
+			},
+			Optimizer: dnn.OptimizerAdam,
+		},
+		{
+			Name: "tiny-prof-mlp", Input: dnn.Shape{H: 16, W: 16, C: 3}, Batch: 16,
+			Layers: []dnn.Layer{
+				dnn.FC(64, dnn.ActReLU),
+				dnn.FC(128, dnn.ActTanh),
+				dnn.FC(32, dnn.ActSigmoid),
+			},
+			Optimizer: dnn.OptimizerGD,
+		},
+		{
+			Name: "tiny-prof-vgg", Input: dnn.Shape{H: 32, W: 32, C: 3}, Batch: 16,
+			Layers: []dnn.Layer{
+				dnn.Conv(3, 16, 1, dnn.ActReLU),
+				dnn.Conv(3, 32, 1, dnn.ActReLU),
+				dnn.MaxPool(),
+				dnn.FC(64, dnn.ActReLU),
+				dnn.FC(10, dnn.ActReLU),
+			},
+			Optimizer: dnn.OptimizerAdagrad,
+		},
+	}
+}
+
+// TinyTestedModels is the scaled-down analogue of the tested set (Table IX):
+// an MLP, a ZFNet-style CNN and a VGG-style CNN built from the profiled
+// building blocks in new compositions.
+func TinyTestedModels() []dnn.Model {
+	return []dnn.Model{
+		{
+			Name: "tiny-tested-mlp", Input: dnn.Shape{H: 16, W: 16, C: 3}, Batch: 16,
+			Layers: []dnn.Layer{
+				dnn.FC(64, dnn.ActReLU),
+				dnn.FC(32, dnn.ActTanh),
+				dnn.FC(128, dnn.ActSigmoid),
+			},
+			Optimizer: dnn.OptimizerGD,
+		},
+		{
+			Name: "tiny-tested-zfnet", Input: dnn.Shape{H: 32, W: 32, C: 3}, Batch: 16,
+			Layers: []dnn.Layer{
+				dnn.Conv(5, 32, 2, dnn.ActReLU),
+				dnn.MaxPool(),
+				dnn.Conv(3, 64, 1, dnn.ActReLU),
+				dnn.FC(64, dnn.ActReLU),
+				dnn.FC(10, dnn.ActSigmoid),
+			},
+			Optimizer: dnn.OptimizerAdam,
+		},
+		{
+			Name: "tiny-tested-vgg", Input: dnn.Shape{H: 32, W: 32, C: 3}, Batch: 16,
+			Layers: []dnn.Layer{
+				dnn.Conv(3, 32, 1, dnn.ActReLU),
+				dnn.MaxPool(),
+				dnn.Conv(3, 64, 1, dnn.ActReLU),
+				dnn.FC(128, dnn.ActReLU),
+				dnn.FC(10, dnn.ActSigmoid),
+			},
+			Optimizer: dnn.OptimizerAdam,
+		},
+	}
+}
+
+// TinyResNet is a scaled-down residual network: pairs of same-width
+// convolutions joined by identity shortcuts, the §IV-C structure MoSConS
+// cannot fully recover from the side channel alone.
+func TinyResNet() dnn.Model {
+	block := func(filters int) []dnn.Layer {
+		a := dnn.Conv(3, filters, 1, dnn.ActReLU)
+		b := dnn.Conv(3, filters, 1, dnn.ActReLU)
+		b.ShortcutFrom = 2 // joins the output from before the block
+		return []dnn.Layer{a, b}
+	}
+	var layers []dnn.Layer
+	layers = append(layers, dnn.Conv(3, 16, 1, dnn.ActReLU))
+	layers = append(layers, block(16)...)
+	layers = append(layers, block(16)...)
+	layers = append(layers, dnn.MaxPool())
+	layers = append(layers, dnn.FC(64, dnn.ActReLU), dnn.FC(10, dnn.ActSigmoid))
+	return dnn.Model{
+		Name:      "tiny-resnet",
+		Input:     dnn.Shape{H: 32, W: 32, C: 3},
+		Batch:     16,
+		Layers:    layers,
+		Optimizer: dnn.OptimizerAdam,
+	}
+}
+
+// TinyRNN is a small recurrent model — the architecture family the paper
+// expects MoSConS to fail on (§VI limitation 6): every unrolled step emits
+// the same MatMul+Tanh pair, so the op sequence no longer maps one-to-one
+// onto layers.
+func TinyRNN() dnn.Model {
+	return dnn.Model{
+		Name:  "tiny-rnn",
+		Input: dnn.Shape{H: 16, W: 16, C: 4}, // 16 steps of 64 features
+		Batch: 16,
+		Layers: []dnn.Layer{
+			dnn.RNN(64, 16),
+			dnn.FC(10, dnn.ActSigmoid),
+		},
+		Optimizer: dnn.OptimizerAdam,
+	}
+}

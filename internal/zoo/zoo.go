@@ -1,0 +1,244 @@
+// Package zoo defines the victim models of the paper's evaluation: the three
+// profiled models the adversary trains her inference models on (Table V) and
+// the three tested models she attacks (Table IX), plus scaled-down variants
+// used to keep unit tests fast.
+package zoo
+
+import "leakydnn/internal/dnn"
+
+// imageNetInput is the paper's training input: ImageNet images resized to
+// 224x224x3 (§V-A).
+var imageNetInput = dnn.Shape{H: 224, W: 224, C: 3}
+
+// CustMLPProfiled is the customized MLP of Table V:
+// M64,R−M128,T−M256,S−M512,R−M1024,T−M2048,S−M4096,R−M8192,R−M16384,S, Adagrad.
+func CustMLPProfiled() dnn.Model {
+	return dnn.Model{
+		Name:  "cust-mlp-profiled",
+		Input: imageNetInput,
+		Batch: 128,
+		Layers: []dnn.Layer{
+			dnn.FC(64, dnn.ActReLU),
+			dnn.FC(128, dnn.ActTanh),
+			dnn.FC(256, dnn.ActSigmoid),
+			dnn.FC(512, dnn.ActReLU),
+			dnn.FC(1024, dnn.ActTanh),
+			dnn.FC(2048, dnn.ActSigmoid),
+			dnn.FC(4096, dnn.ActReLU),
+			dnn.FC(8192, dnn.ActReLU),
+			dnn.FC(16384, dnn.ActSigmoid),
+		},
+		Optimizer: dnn.OptimizerAdagrad,
+	}
+}
+
+// AlexNet is Table V's AlexNet:
+// C11,96,4,R−P−C5,256,1,R−P−C3,384,1,R−C3,384,1,R−C3,256,1,R−P−M4096,R−M4096,R−M1000,R, Adam.
+func AlexNet() dnn.Model {
+	return dnn.Model{
+		Name:  "alexnet",
+		Input: imageNetInput,
+		Batch: 512,
+		Layers: []dnn.Layer{
+			dnn.Conv(11, 96, 4, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.Conv(5, 256, 1, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.Conv(3, 384, 1, dnn.ActReLU),
+			dnn.Conv(3, 384, 1, dnn.ActReLU),
+			dnn.Conv(3, 256, 1, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.FC(4096, dnn.ActReLU),
+			dnn.FC(4096, dnn.ActReLU),
+			dnn.FC(1000, dnn.ActReLU),
+		},
+		Optimizer: dnn.OptimizerAdam,
+	}
+}
+
+// CustVGG19 is Table V's customized VGG19 with its widened filter sizes.
+func CustVGG19() dnn.Model {
+	return dnn.Model{
+		Name:  "cust-vgg19",
+		Input: imageNetInput,
+		Batch: 64,
+		Layers: []dnn.Layer{
+			dnn.Conv(13, 64, 1, dnn.ActReLU),
+			dnn.Conv(13, 64, 1, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.Conv(11, 192, 1, dnn.ActReLU),
+			dnn.Conv(9, 256, 1, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.Conv(7, 256, 1, dnn.ActReLU),
+			dnn.Conv(5, 256, 1, dnn.ActReLU),
+			dnn.Conv(3, 256, 1, dnn.ActReLU),
+			dnn.Conv(1, 256, 1, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.Conv(3, 512, 1, dnn.ActReLU),
+			dnn.Conv(3, 512, 1, dnn.ActReLU),
+			dnn.Conv(3, 512, 1, dnn.ActReLU),
+			dnn.Conv(3, 512, 1, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.Conv(1, 512, 1, dnn.ActReLU),
+			dnn.Conv(1, 1024, 1, dnn.ActReLU),
+			dnn.Conv(1, 2048, 1, dnn.ActReLU),
+			dnn.Conv(1, 4096, 1, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.FC(4096, dnn.ActReLU),
+			dnn.FC(4096, dnn.ActReLU),
+			dnn.FC(1000, dnn.ActReLU),
+		},
+		Optimizer: dnn.OptimizerGD,
+	}
+}
+
+// CustMLPTested is Table IX's five-layer tested MLP:
+// M64,R−M512,T−M1024,S−M2048,R−M8192,T, GD.
+func CustMLPTested() dnn.Model {
+	return dnn.Model{
+		Name:  "cust-mlp-tested",
+		Input: imageNetInput,
+		Batch: 128,
+		Layers: []dnn.Layer{
+			dnn.FC(64, dnn.ActReLU),
+			dnn.FC(512, dnn.ActTanh),
+			dnn.FC(1024, dnn.ActSigmoid),
+			dnn.FC(2048, dnn.ActReLU),
+			dnn.FC(8192, dnn.ActTanh),
+		},
+		Optimizer: dnn.OptimizerGD,
+	}
+}
+
+// ZFNet is Table IX's ZFNet:
+// C7,96,2,R−P−C5,256,2,R−P−C3,512,1,R−C3,1024,1,R−C3,512,1,R−P−M4096,R−M4096,R−M1000,R, Adam.
+func ZFNet() dnn.Model {
+	return dnn.Model{
+		Name:  "zfnet",
+		Input: imageNetInput,
+		Batch: 256,
+		Layers: []dnn.Layer{
+			dnn.Conv(7, 96, 2, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.Conv(5, 256, 2, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.Conv(3, 512, 1, dnn.ActReLU),
+			dnn.Conv(3, 1024, 1, dnn.ActReLU),
+			dnn.Conv(3, 512, 1, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.FC(4096, dnn.ActReLU),
+			dnn.FC(4096, dnn.ActReLU),
+			dnn.FC(1000, dnn.ActReLU),
+		},
+		Optimizer: dnn.OptimizerAdam,
+	}
+}
+
+// VGG16 is Table IX's VGG16 with Adam.
+func VGG16() dnn.Model {
+	return dnn.Model{
+		Name:  "vgg16",
+		Input: imageNetInput,
+		Batch: 64,
+		Layers: []dnn.Layer{
+			dnn.Conv(3, 64, 1, dnn.ActReLU),
+			dnn.Conv(3, 64, 1, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.Conv(3, 128, 1, dnn.ActReLU),
+			dnn.Conv(3, 128, 1, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.Conv(3, 256, 1, dnn.ActReLU),
+			dnn.Conv(3, 256, 1, dnn.ActReLU),
+			dnn.Conv(3, 256, 1, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.Conv(3, 512, 1, dnn.ActReLU),
+			dnn.Conv(3, 512, 1, dnn.ActReLU),
+			dnn.Conv(3, 512, 1, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.Conv(3, 512, 1, dnn.ActReLU),
+			dnn.Conv(3, 512, 1, dnn.ActReLU),
+			dnn.Conv(3, 512, 1, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.FC(4096, dnn.ActReLU),
+			dnn.FC(4096, dnn.ActReLU),
+			dnn.FC(1000, dnn.ActReLU),
+		},
+		Optimizer: dnn.OptimizerAdam,
+	}
+}
+
+// ProfiledModels returns the adversary's profiling set (Table V).
+func ProfiledModels() []dnn.Model {
+	return []dnn.Model{CustMLPProfiled(), AlexNet(), CustVGG19()}
+}
+
+// TestedModels returns the attacked set (Table IX).
+func TestedModels() []dnn.Model {
+	return []dnn.Model{CustMLPTested(), ZFNet(), VGG16()}
+}
+
+// Scale returns a copy of m with the spatial input resized to side x side
+// and the batch replaced, preserving every layer hyper-parameter. It is used
+// to produce fast unit-test workloads and the paper's batch/image-size
+// sensitivity sweep (§V-B).
+func Scale(m dnn.Model, side, batch int) dnn.Model {
+	out := m
+	out.Input = dnn.Shape{H: side, W: side, C: m.Input.C}
+	out.Batch = batch
+	out.Layers = append([]dnn.Layer(nil), m.Layers...)
+	return out
+}
+
+// TinyMLP is a fast MLP for unit tests, structurally like the tested MLP.
+func TinyMLP() dnn.Model {
+	return dnn.Model{
+		Name:  "tiny-mlp",
+		Input: dnn.Shape{H: 16, W: 16, C: 3},
+		Batch: 16,
+		Layers: []dnn.Layer{
+			dnn.FC(64, dnn.ActReLU),
+			dnn.FC(128, dnn.ActTanh),
+			dnn.FC(256, dnn.ActSigmoid),
+			dnn.FC(64, dnn.ActReLU),
+		},
+		Optimizer: dnn.OptimizerGD,
+	}
+}
+
+// TinyCNN is a fast CNN for unit tests, structurally like a shrunken ZFNet.
+func TinyCNN() dnn.Model {
+	return dnn.Model{
+		Name:  "tiny-cnn",
+		Input: dnn.Shape{H: 32, W: 32, C: 3},
+		Batch: 16,
+		Layers: []dnn.Layer{
+			dnn.Conv(5, 32, 2, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.Conv(3, 64, 1, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.FC(128, dnn.ActReLU),
+			dnn.FC(10, dnn.ActReLU),
+		},
+		Optimizer: dnn.OptimizerAdam,
+	}
+}
+
+// TinyVGG is a fast CNN with two conv blocks, like a shrunken VGG.
+func TinyVGG() dnn.Model {
+	return dnn.Model{
+		Name:  "tiny-vgg",
+		Input: dnn.Shape{H: 32, W: 32, C: 3},
+		Batch: 16,
+		Layers: []dnn.Layer{
+			dnn.Conv(3, 16, 1, dnn.ActReLU),
+			dnn.Conv(3, 16, 1, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.Conv(3, 32, 1, dnn.ActReLU),
+			dnn.Conv(3, 32, 1, dnn.ActReLU),
+			dnn.MaxPool(),
+			dnn.FC(64, dnn.ActReLU),
+			dnn.FC(10, dnn.ActSigmoid),
+		},
+		Optimizer: dnn.OptimizerAdagrad,
+	}
+}

@@ -1,0 +1,215 @@
+package zoo
+
+import (
+	"testing"
+
+	"leakydnn/internal/dnn"
+)
+
+func TestAllModelsValidate(t *testing.T) {
+	models := append(ProfiledModels(), TestedModels()...)
+	models = append(models, TinyMLP(), TinyCNN(), TinyVGG())
+	for _, m := range models {
+		if _, err := m.Validate(); err != nil {
+			t.Errorf("model %s invalid: %v", m.Name, err)
+		}
+		if _, err := dnn.Compile(m); err != nil {
+			t.Errorf("model %s does not compile: %v", m.Name, err)
+		}
+	}
+}
+
+func TestVGG16Structure(t *testing.T) {
+	m := VGG16()
+	if len(m.Layers) != 21 {
+		t.Fatalf("VGG16 has %d layers, want 21 (13 conv + 5 pool + 3 fc)", len(m.Layers))
+	}
+	var conv, pool, fc int
+	for _, l := range m.Layers {
+		switch l.Kind {
+		case dnn.LayerConv:
+			conv++
+			if l.FilterSize != 3 || l.Stride != 1 {
+				t.Fatalf("VGG16 conv layer has size=%d stride=%d, want 3/1", l.FilterSize, l.Stride)
+			}
+		case dnn.LayerMaxPool:
+			pool++
+		case dnn.LayerFC:
+			fc++
+		}
+	}
+	if conv != 13 || pool != 5 || fc != 3 {
+		t.Fatalf("VGG16 composition = %d conv, %d pool, %d fc; want 13/5/3", conv, pool, fc)
+	}
+	shapes, err := m.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After 5 poolings 224 -> 7.
+	preFC := shapes[len(shapes)-4]
+	if preFC.H != 7 || preFC.W != 7 || preFC.C != 512 {
+		t.Fatalf("VGG16 pre-FC shape = %v, want 7x7x512", preFC)
+	}
+}
+
+func TestZFNetStrides(t *testing.T) {
+	m := ZFNet()
+	if m.Layers[0].Stride != 2 || m.Layers[2].Stride != 2 {
+		t.Fatal("ZFNet first two conv layers must use stride 2")
+	}
+	if m.Optimizer != dnn.OptimizerAdam {
+		t.Fatalf("ZFNet optimizer = %v, want Adam", m.Optimizer)
+	}
+}
+
+func TestProfiledMLPLayerWidths(t *testing.T) {
+	m := CustMLPProfiled()
+	want := []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+	if len(m.Layers) != len(want) {
+		t.Fatalf("profiled MLP has %d layers, want %d", len(m.Layers), len(want))
+	}
+	for i, n := range want {
+		if m.Layers[i].Neurons != n {
+			t.Fatalf("layer %d neurons = %d, want %d", i, m.Layers[i].Neurons, n)
+		}
+	}
+	if m.Optimizer != dnn.OptimizerAdagrad {
+		t.Fatalf("profiled MLP optimizer = %v, want Adagrad", m.Optimizer)
+	}
+}
+
+func TestTestedMLPActivationsAlternate(t *testing.T) {
+	m := CustMLPTested()
+	want := []dnn.Activation{dnn.ActReLU, dnn.ActTanh, dnn.ActSigmoid, dnn.ActReLU, dnn.ActTanh}
+	for i, a := range want {
+		if m.Layers[i].Act != a {
+			t.Fatalf("layer %d act = %v, want %v", i, m.Layers[i].Act, a)
+		}
+	}
+}
+
+func TestScalePreservesHyperParameters(t *testing.T) {
+	m := Scale(VGG16(), 32, 16)
+	if m.Input.H != 32 || m.Batch != 16 {
+		t.Fatalf("Scale did not apply: input=%v batch=%d", m.Input, m.Batch)
+	}
+	if m.Layers[0].NumFilters != 64 {
+		t.Fatal("Scale changed hyper-parameters")
+	}
+	if _, err := m.Validate(); err != nil {
+		t.Fatalf("scaled VGG16 invalid: %v", err)
+	}
+	// Mutating the scaled copy must not touch the original.
+	m.Layers[0].NumFilters = 1
+	if VGG16().Layers[0].NumFilters != 64 {
+		t.Fatal("Scale aliased the layer slice")
+	}
+}
+
+func TestBatchSizesMatchPaper(t *testing.T) {
+	tests := []struct {
+		model dnn.Model
+		batch int
+	}{
+		{CustVGG19(), 64},
+		{VGG16(), 64},
+		{AlexNet(), 512},
+		{ZFNet(), 256},
+		{CustMLPProfiled(), 128},
+		{CustMLPTested(), 128},
+	}
+	for _, tt := range tests {
+		if tt.model.Batch != tt.batch {
+			t.Errorf("%s batch = %d, want %d", tt.model.Name, tt.model.Batch, tt.batch)
+		}
+	}
+}
+
+func TestTinyResNetShortcuts(t *testing.T) {
+	m := TinyResNet()
+	if _, err := m.Validate(); err != nil {
+		t.Fatalf("resnet invalid: %v", err)
+	}
+	ops, err := dnn.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adds, addGrads int
+	for _, o := range ops {
+		switch o.Kind {
+		case dnn.OpResidualAdd:
+			adds++
+		case dnn.OpResidualAddGrad:
+			addGrads++
+		}
+	}
+	if adds != 2 || addGrads != 2 {
+		t.Fatalf("resnet compiled %d adds / %d grads, want 2/2", adds, addGrads)
+	}
+	// The residual add's letter is 'B': through the side channel it is
+	// indistinguishable from BiasAdd (§IV-C).
+	for _, o := range ops {
+		if o.Kind == dnn.OpResidualAdd && o.Kind.Letter() != 'B' {
+			t.Fatalf("ResidualAdd letter = %c, want B", o.Kind.Letter())
+		}
+	}
+}
+
+func TestShortcutValidation(t *testing.T) {
+	m := TinyResNet()
+	// Shortcut across a shape change must be rejected.
+	m.Layers[2].ShortcutFrom = 0
+	m.Layers[1] = dnn.Conv(3, 32, 1, dnn.ActReLU) // widen mid-block
+	bad := m
+	bad.Layers[2] = dnn.Conv(3, 16, 1, dnn.ActReLU)
+	bad.Layers[2].ShortcutFrom = 1 // 16 channels vs the 32 one layer back
+	if _, err := bad.Validate(); err == nil {
+		t.Fatal("shape-mismatched shortcut accepted")
+	}
+	// Out-of-range shortcut must be rejected.
+	oor := TinyResNet()
+	oor.Layers[0].ShortcutFrom = 5
+	if _, err := oor.Validate(); err == nil {
+		t.Fatal("out-of-range shortcut accepted")
+	}
+}
+
+func TestTinyRNNUnrolls(t *testing.T) {
+	m := TinyRNN()
+	if _, err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := dnn.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var matmuls, tanhs int
+	for _, o := range ops {
+		switch o.Kind {
+		case dnn.OpMatMul:
+			matmuls++
+		case dnn.OpTanh:
+			tanhs++
+		}
+	}
+	// 16 recurrent steps + 1 FC forward MatMul.
+	if matmuls != 17 {
+		t.Fatalf("RNN compiled %d forward MatMuls, want 17", matmuls)
+	}
+	if tanhs != 16 {
+		t.Fatalf("RNN compiled %d Tanh ops, want 16", tanhs)
+	}
+}
+
+func TestRNNValidation(t *testing.T) {
+	bad := TinyRNN()
+	bad.Layers[0].Steps = 0
+	if _, err := bad.Validate(); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	bad = TinyRNN()
+	bad.Layers[0].Steps = 100000
+	if _, err := bad.Validate(); err == nil {
+		t.Fatal("steps exceeding input accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package leakydnn
+
+import (
+	"errors"
+	"testing"
+)
+
+// The facade must expose a coherent, usable public surface: model
+// construction, compilation, trace collection, the driver gate and the
+// experiment scales, without reaching into internal packages.
+func TestFacadeModelLifecycle(t *testing.T) {
+	model := Model{
+		Name:  "facade-cnn",
+		Input: Shape{H: 32, W: 32, C: 3},
+		Batch: 8,
+		Layers: []Layer{
+			Conv(3, 16, 1, ActReLU),
+			MaxPool(),
+			FC(32, ActSigmoid),
+		},
+		Optimizer: OptimizerAdam,
+	}
+	ops, err := Compile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) == 0 {
+		t.Fatal("no ops compiled")
+	}
+
+	sc := TinyScale()
+	tr, err := CollectTrace(model, sc.RunConfig(5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) == 0 {
+		t.Fatal("no samples collected through the facade")
+	}
+
+	quantized, err := QuantizeCounters(tr.Samples, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quantized) != len(tr.Samples) {
+		t.Fatal("quantization changed sample count")
+	}
+}
+
+func TestFacadeDriverGate(t *testing.T) {
+	drv, err := NewDriver(PatchedDriverVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.CheckAccess(); !errors.Is(err, ErrCUPTIRestricted) {
+		t.Fatalf("patched driver access = %v, want restricted", err)
+	}
+	if err := drv.Downgrade(UnpatchedDriverVersion); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.CheckAccess(); err != nil {
+		t.Fatalf("downgraded driver still restricted: %v", err)
+	}
+}
+
+func TestFacadeScalesAndZoo(t *testing.T) {
+	for _, sc := range []Scale{TinyScale(), MidScale(), PaperScale()} {
+		if len(sc.Profiled) == 0 || len(sc.Tested) == 0 {
+			t.Fatalf("scale %s lacks models", sc.Name)
+		}
+	}
+	if got := VGG16(); len(got.Layers) != 21 {
+		t.Fatalf("VGG16 has %d layers", len(got.Layers))
+	}
+	scaled := ScaleModel(ZFNet(), 64, 8)
+	if scaled.Input.H != 64 || scaled.Batch != 8 {
+		t.Fatalf("ScaleModel result %v/%d", scaled.Input, scaled.Batch)
+	}
+	if len(ProfiledModels()) != 3 || len(TestedModels()) != 3 {
+		t.Fatal("zoo sets incomplete")
+	}
+}
+
+func TestFacadeSyntheticDataset(t *testing.T) {
+	data, err := SyntheticDataset(32, 16, 3, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Len() != 32 {
+		t.Fatalf("dataset length %d", data.Len())
+	}
+	batch, err := data.Batch(0, 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Images) != 8 || batch.Shape.H != 32 {
+		t.Fatalf("batch %d images shape %v", len(batch.Images), batch.Shape)
+	}
+}
