@@ -359,6 +359,27 @@ func BenchmarkTraceCollect(b *testing.B) {
 	}
 }
 
+// benchCollectWorkers regenerates the profiled trace set under a fixed
+// worker-pool size; comparing the Workers1/Workers4 variants measures the
+// deterministic fan-out's speedup (expect ~linear scaling on a multi-core
+// runner, and identical traces at any setting).
+func benchCollectWorkers(b *testing.B, workers int) {
+	sc := benchScale()
+	sc.Workers = workers
+	for i := 0; i < b.N; i++ {
+		traces, err := sc.CollectTraces(sc.Profiled, sc.Seed+100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(traces) != len(sc.Profiled) {
+			b.Fatalf("collected %d traces, want %d", len(traces), len(sc.Profiled))
+		}
+	}
+}
+
+func BenchmarkCollectTracesWorkers1(b *testing.B) { benchCollectWorkers(b, 1) }
+func BenchmarkCollectTracesWorkers4(b *testing.B) { benchCollectWorkers(b, 4) }
+
 // BenchmarkExtraction measures one full MoSConS extraction on a collected
 // trace (training excluded).
 func BenchmarkExtraction(b *testing.B) {

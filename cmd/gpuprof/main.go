@@ -61,7 +61,9 @@ func run() error {
 	}
 	tl := &tfsim.Timeline{}
 	eng.OnKernelEnd = tl.Observe
-	eng.AddChannel(1, sess.Source())
+	if !eng.AddChannel(1, sess.Source()) {
+		return fmt.Errorf("scheduler rejected the victim channel")
+	}
 	horizon := (sess.IterationDuration() + 10*gpu.Millisecond) * gpu.Nanos(*iterations) * 4
 	eng.Run(horizon)
 

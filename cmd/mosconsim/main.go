@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"leakydnn/internal/attack"
 	"leakydnn/internal/dnn"
@@ -30,6 +31,8 @@ func run() error {
 		verbose   = flag.Bool("v", false, "print per-sample letters")
 		saveFile  = flag.String("save", "", "save the trained model set to this file")
 		loadFile  = flag.String("load", "", "load a previously saved model set instead of training")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0),
+			"trace-collection worker-pool size (results are identical for any value; 1 runs serially)")
 	)
 	flag.Parse()
 
@@ -38,6 +41,7 @@ func run() error {
 		return err
 	}
 	sc.Seed = *seed
+	sc.Workers = *workers
 
 	fmt.Printf("== MoSConS end-to-end (%s scale) ==\n", sc.Name)
 

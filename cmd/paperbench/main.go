@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"leakydnn/internal/eval"
@@ -33,6 +34,8 @@ func run() error {
 		scaleName = flag.String("scale", "tiny", "platform scale: tiny, mid, paper")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		samples   = flag.Int("samples", 60, "samples per pilot-table cell")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0),
+			"evaluation worker-pool size (results are identical for any value; 1 runs serially)")
 	)
 	flag.Parse()
 
@@ -41,6 +44,7 @@ func run() error {
 		return err
 	}
 	sc.Seed = *seed
+	sc.Workers = *workers
 
 	selected := experiments
 	if *expName != "all" {

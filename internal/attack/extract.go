@@ -313,7 +313,9 @@ func (m *Models) recoverOptimizer(rec *Recovery) dnn.OptimizerKind {
 	}
 	bestV, bestN := vocab[0], 0
 	for v, n := range counts {
-		if n > bestN {
+		// Ties break toward the smallest optimizer code so the vote does not
+		// depend on map iteration order.
+		if n > bestN || (n == bestN && n > 0 && v < bestV) {
 			bestV, bestN = v, n
 		}
 	}

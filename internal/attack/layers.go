@@ -204,7 +204,9 @@ func applySyntaxCorrections(layers []RecoveredLayer) []RecoveredLayer {
 	var majority dnn.Activation
 	best := 0
 	for act, n := range counts {
-		if n > best {
+		// Ties break toward the smallest activation code so the winner does
+		// not depend on map iteration order.
+		if n > best || (n == best && n > 0 && act < majority) {
 			majority, best = act, n
 		}
 	}

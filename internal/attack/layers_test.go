@@ -134,6 +134,24 @@ func TestApplySyntaxCorrections(t *testing.T) {
 	}
 }
 
+// A tied activation vote must resolve the same way on every run (ties used
+// to fall to Go's randomized map iteration order, which made end-to-end
+// extraction nondeterministic run-to-run).
+func TestApplySyntaxCorrectionsTieDeterministic(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		layers := []RecoveredLayer{
+			{Kind: dnn.LayerFC, Act: dnn.ActTanh},
+			{Kind: dnn.LayerFC, Act: dnn.ActSigmoid},
+			{Kind: dnn.LayerFC, Act: dnn.ActNone},
+		}
+		fixed := applySyntaxCorrections(layers)
+		if fixed[2].Act != dnn.ActTanh {
+			t.Fatalf("run %d: tie resolved to %v, want smallest code %v",
+				i, fixed[2].Act, dnn.ActTanh)
+		}
+	}
+}
+
 func TestLayerAccuracyMetric(t *testing.T) {
 	truth := dnn.Model{
 		Name: "m", Input: dnn.Shape{H: 32, W: 32, C: 3}, Batch: 4,

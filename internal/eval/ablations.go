@@ -6,6 +6,7 @@ import (
 
 	"leakydnn/internal/attack"
 	"leakydnn/internal/cupti"
+	"leakydnn/internal/par"
 	"leakydnn/internal/trace"
 )
 
@@ -23,14 +24,14 @@ func AblationSlowdown(sc Scale) (*SlowdownAblation, error) {
 	if len(sc.Tested) == 0 {
 		return nil, fmt.Errorf("eval: no tested models")
 	}
-	with, err := trace.Collect(sc.Tested[0], sc.RunConfig(sc.Seed+400, true))
+	// The two co-runs are independent (seeds +400/+401), so they fan out.
+	traces, err := par.Map(sc.Workers, 2, func(i int) (*trace.Trace, error) {
+		return trace.Collect(sc.Tested[0], sc.RunConfig(sc.Seed+400+int64(i), i == 0))
+	})
 	if err != nil {
 		return nil, err
 	}
-	without, err := trace.Collect(sc.Tested[0], sc.RunConfig(sc.Seed+401, false))
-	if err != nil {
-		return nil, err
-	}
+	with, without := traces[0], traces[1]
 	mean := func(tr *trace.Trace) float64 {
 		counts := tr.SamplesPerIteration()
 		if len(counts) == 0 {
@@ -77,25 +78,28 @@ type SyntaxAblationRow struct {
 // AblationSyntax re-derives layers from each tested recovery with the
 // correction stages disabled and compares against the full pipeline.
 func (w *Workbench) AblationSyntax() (*SyntaxAblation, error) {
-	res := &SyntaxAblation{}
-	for _, tr := range w.Tested {
+	rows, err := par.Map(w.Scale.Workers, len(w.Tested), func(i int) (SyntaxAblationRow, error) {
+		tr := w.Tested[i]
 		rec, err := w.Models.Extract(tr.Samples)
 		if err != nil {
-			return nil, err
+			return SyntaxAblationRow{}, err
 		}
 		// Raw arm: collapse only — no smoothing, no syntax corrections.
 		rawLayers := attack.DeriveLayers(attack.CollapseLetters(rec.Letters))
 		rawLayerAcc, rawHPAcc := attack.LayerAccuracy(rawLayers, tr.Model)
 		fullLayerAcc, fullHPAcc := attack.LayerAccuracy(rec.Layers, tr.Model)
-		res.Rows = append(res.Rows, SyntaxAblationRow{
+		return SyntaxAblationRow{
 			Model:        tr.Model.Name,
 			RawLayerAcc:  rawLayerAcc,
 			RawHPAcc:     rawHPAcc,
 			FullLayerAcc: fullLayerAcc,
 			FullHPAcc:    fullHPAcc,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &SyntaxAblation{Rows: rows}, nil
 }
 
 // Render prints the ablation.
@@ -211,13 +215,11 @@ func AblationCounterGroups(sc Scale) (*CounterGroupAblation, error) {
 			cfg.Spy.Events = events
 			return cfg
 		}
-		var profiled []*trace.Trace
-		for i, m := range sc.Profiled {
-			tr, err := trace.Collect(m, cfgOf(sc.Seed+500+int64(i)))
-			if err != nil {
-				return 0, err
-			}
-			profiled = append(profiled, tr)
+		profiled, err := par.Map(sc.Workers, len(sc.Profiled), func(i int) (*trace.Trace, error) {
+			return trace.Collect(sc.Profiled[i], cfgOf(sc.Seed+500+int64(i)))
+		})
+		if err != nil {
+			return 0, err
 		}
 		models, err := attack.TrainModels(profiled, sc.Attack)
 		if err != nil {
@@ -294,19 +296,15 @@ func (w *Workbench) MultiTenant() (*MultiTenantResult, error) {
 		return acc, nil
 	}
 
-	two, err := score(0, w.Scale.Seed+9100)
+	// Three independent co-runs (seeds +9100/+9200/+9300) against read-only
+	// trained models.
+	accs, err := par.Map(w.Scale.Workers, 3, func(i int) (float64, error) {
+		return score(i, w.Scale.Seed+9100+int64(i)*100)
+	})
 	if err != nil {
 		return nil, err
 	}
-	three, err := score(1, w.Scale.Seed+9200)
-	if err != nil {
-		return nil, err
-	}
-	four, err := score(2, w.Scale.Seed+9300)
-	if err != nil {
-		return nil, err
-	}
-	return &MultiTenantResult{TwoTenantAcc: two, ThreeTenantAcc: three, FourTenantAcc: four}, nil
+	return &MultiTenantResult{TwoTenantAcc: accs[0], ThreeTenantAcc: accs[1], FourTenantAcc: accs[2]}, nil
 }
 
 // Render prints the multi-tenant degradation.

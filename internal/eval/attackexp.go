@@ -6,6 +6,7 @@ import (
 
 	"leakydnn/internal/attack"
 	"leakydnn/internal/dnn"
+	"leakydnn/internal/par"
 	"leakydnn/internal/trace"
 	"leakydnn/internal/zoo"
 )
@@ -25,18 +26,20 @@ type Table6Row struct {
 	IterationsActual int
 }
 
-// Table6 evaluates the iteration-splitting stage on every tested trace.
+// Table6 evaluates the iteration-splitting stage on every tested trace. The
+// trained models are read-only during inference, so the per-trace work fans
+// out across the workbench's worker pool.
 func (w *Workbench) Table6() (*Table6Result, error) {
-	res := &Table6Result{}
-	for _, tr := range w.Tested {
+	rows, err := par.Map(w.Scale.Workers, len(w.Tested), func(i int) (Table6Row, error) {
+		tr := w.Tested[i]
 		feats := attackFeatures(w.Models, tr)
 		split, err := w.Models.SplitIterations(feats)
 		if err != nil {
-			return nil, err
+			return Table6Row{}, err
 		}
 		labels := tr.Labels()
 		nopAcc, busyAcc, nopN, busyN := attack.GapAccuracy(split.IsNOP, labels)
-		res.Rows = append(res.Rows, Table6Row{
+		return Table6Row{
 			Model:            tr.Model.Name,
 			NOPAcc:           nopAcc,
 			BusyAcc:          busyAcc,
@@ -44,9 +47,12 @@ func (w *Workbench) Table6() (*Table6Result, error) {
 			BusyN:            busyN,
 			IterationsFound:  len(split.Valid),
 			IterationsActual: tr.Timeline.Iterations(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table6Result{Rows: rows}, nil
 }
 
 // Render prints the table in the paper's layout.
@@ -80,7 +86,15 @@ func (w *Workbench) GapSweep(batches, sides []int) (*GapSweepResult, error) {
 		return nil, fmt.Errorf("eval: no tested models")
 	}
 	base := w.Scale.Tested[len(w.Scale.Tested)-1]
-	res := &GapSweepResult{}
+	// Seeds advance only across *valid* variants, so the grid is pre-scanned
+	// serially (validation is cheap) before the co-runs fan out; this keeps
+	// every variant's seed identical to what the serial sweep assigned.
+	type task struct {
+		batch, side int
+		variant     dnn.Model
+		seed        int64
+	}
+	var tasks []task
 	seed := w.Scale.Seed + 3000
 	for _, batch := range batches {
 		for _, side := range sides {
@@ -90,19 +104,26 @@ func (w *Workbench) GapSweep(batches, sides []int) (*GapSweepResult, error) {
 				continue // pool depth can exceed tiny inputs; skip illegal combos
 			}
 			seed++
-			tr, err := trace.Collect(variant, w.Scale.RunConfig(seed, true))
-			if err != nil {
-				return nil, err
-			}
-			split, err := w.Models.SplitIterations(attackFeatures(w.Models, tr))
-			if err != nil {
-				return nil, err
-			}
-			nopAcc, _, _, _ := attack.GapAccuracy(split.IsNOP, tr.Labels())
-			res.Rows = append(res.Rows, GapSweepRow{Batch: batch, Side: side, NOPAcc: nopAcc})
+			tasks = append(tasks, task{batch: batch, side: side, variant: variant, seed: seed})
 		}
 	}
-	return res, nil
+	rows, err := par.Map(w.Scale.Workers, len(tasks), func(i int) (GapSweepRow, error) {
+		t := tasks[i]
+		tr, err := trace.Collect(t.variant, w.Scale.RunConfig(t.seed, true))
+		if err != nil {
+			return GapSweepRow{}, err
+		}
+		split, err := w.Models.SplitIterations(attackFeatures(w.Models, tr))
+		if err != nil {
+			return GapSweepRow{}, err
+		}
+		nopAcc, _, _, _ := attack.GapAccuracy(split.IsNOP, tr.Labels())
+		return GapSweepRow{Batch: t.batch, Side: t.side, NOPAcc: nopAcc}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &GapSweepResult{Rows: rows}, nil
 }
 
 // Render prints the sweep.
@@ -130,13 +151,13 @@ type Table7Row struct {
 }
 
 // Table7 runs the op-inference stage on every tested trace and scores both
-// arms.
+// arms, fanning the independent extractions across the worker pool.
 func (w *Workbench) Table7() (*Table7Result, error) {
-	res := &Table7Result{}
-	for _, tr := range w.Tested {
+	rows, err := par.Map(w.Scale.Workers, len(w.Tested), func(i int) (Table7Row, error) {
+		tr := w.Tested[i]
 		rec, err := w.Models.Extract(tr.Samples)
 		if err != nil {
-			return nil, err
+			return Table7Row{}, err
 		}
 		labels := tr.Labels()
 		truth := attack.LetterTruth(labels, rec.Base)
@@ -144,15 +165,18 @@ func (w *Workbench) Table7() (*Table7Result, error) {
 		preLetters := mergeLetters(rec.PreVoteLong[0], rec.PreVoteOp[0])
 		perPre, overallPre := attack.LetterAccuracy(preLetters, truth)
 		perVote, overallVote := attack.LetterAccuracy(rec.Letters, truth)
-		res.Rows = append(res.Rows, Table7Row{
+		return Table7Row{
 			Model:       tr.Model.Name,
 			PreVote:     perPre,
 			WithVote:    perVote,
 			OverallPre:  overallPre,
 			OverallVote: overallVote,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table7Result{Rows: rows}, nil
 }
 
 // mergeLetters merges one iteration's Mlong and Mop predictions into letters
@@ -218,16 +242,17 @@ type Table9Row struct {
 	OptimizerCorrect bool
 }
 
-// Table9 runs the full extraction on every tested trace.
+// Table9 runs the full extraction on every tested trace, one worker-pool
+// task per model.
 func (w *Workbench) Table9() (*Table9Result, error) {
-	res := &Table9Result{}
-	for _, tr := range w.Tested {
+	rows, err := par.Map(w.Scale.Workers, len(w.Tested), func(i int) (Table9Row, error) {
+		tr := w.Tested[i]
 		rec, err := w.Models.Extract(tr.Samples)
 		if err != nil {
-			return nil, err
+			return Table9Row{}, err
 		}
 		layerAcc, hpAcc := attack.LayerAccuracy(rec.Layers, tr.Model)
-		res.Rows = append(res.Rows, Table9Row{
+		return Table9Row{
 			Model:            tr.Model.Name,
 			TrueSignature:    dnn.OpSignature(tr.Ops),
 			RecoveredOpSeq:   rec.OpSeq,
@@ -237,9 +262,12 @@ func (w *Workbench) Table9() (*Table9Result, error) {
 			Optimizer:        rec.Optimizer,
 			TrueOptimizer:    tr.Model.Optimizer,
 			OptimizerCorrect: rec.Optimizer == tr.Model.Optimizer,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table9Result{Rows: rows}, nil
 }
 
 // Render prints the table in the paper's layout.

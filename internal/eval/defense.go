@@ -7,6 +7,7 @@ import (
 	"leakydnn/internal/attack"
 	"leakydnn/internal/cupti"
 	"leakydnn/internal/defense"
+	"leakydnn/internal/par"
 	"leakydnn/internal/trace"
 )
 
@@ -32,71 +33,72 @@ func (w *Workbench) EvaluateDefenses(quantStep, noiseFrac float64) (*DefenseResu
 		return nil, fmt.Errorf("eval: no tested traces")
 	}
 	base := w.Tested[len(w.Tested)-1]
-	res := &DefenseResult{}
+	baselineSPI := meanSamplesPerIter(base)
 
-	score := func(name string, samples []cupti.Sample, spIter float64) error {
+	score := func(name string, samples []cupti.Sample, spIter float64) (DefenseRow, error) {
 		rec, err := w.Models.Extract(samples)
 		if err != nil {
-			return fmt.Errorf("defense %s: %w", name, err)
+			return DefenseRow{}, fmt.Errorf("defense %s: %w", name, err)
 		}
 		truth := attack.LetterTruth(base.Labels(), rec.Base)
 		_, acc := attack.LetterAccuracy(rec.Letters, truth)
-		res.Rows = append(res.Rows, DefenseRow{Defense: name, LetterAccuracy: acc, SamplesPerIter: spIter})
-		return nil
+		return DefenseRow{Defense: name, LetterAccuracy: acc, SamplesPerIter: spIter}, nil
 	}
 
-	baselineSPI := meanSamplesPerIter(base)
-	if err := score("none", base.Samples, baselineSPI); err != nil {
-		return nil, err
-	}
-
-	quantized, err := defense.QuantizeSamples(base.Samples, quantStep)
-	if err != nil {
-		return nil, err
-	}
-	if err := score(fmt.Sprintf("quantize(step=%g)", quantStep), quantized, baselineSPI); err != nil {
-		return nil, err
-	}
-
-	noised, err := defense.NoiseSamples(base.Samples, noiseFrac, w.Scale.Seed+600)
-	if err != nil {
-		return nil, err
-	}
-	if err := score(fmt.Sprintf("noise(frac=%g)", noiseFrac), noised, baselineSPI); err != nil {
-		return nil, err
-	}
-
-	// Hardened scheduler: recollect the victim's trace on the protected
-	// device. The spy's channel cap disarms the slow-down attack and the
-	// victim's boosted slices starve the sampler.
-	hardened, err := defense.HardenScheduler(w.Scale.Device, trace.VictimCtx, 4, 1)
-	if err != nil {
-		return nil, err
-	}
-	cfg := w.Scale.RunConfig(w.Scale.Seed+700, true)
-	cfg.Device = hardened
-	hardTrace, err := trace.Collect(base.Model, cfg)
-	if err != nil {
-		return nil, err
-	}
-	rec, err := w.Models.Extract(hardTrace.Samples)
-	if err != nil {
-		// A defense strong enough to break extraction entirely counts as a
-		// zero-accuracy row, not an evaluation failure.
-		res.Rows = append(res.Rows, DefenseRow{
-			Defense:        "hardened-scheduler",
-			SamplesPerIter: meanSamplesPerIter(hardTrace),
-		})
-		return res, nil
-	}
-	truth := attack.LetterTruth(hardTrace.Labels(), rec.Base)
-	_, acc := attack.LetterAccuracy(rec.Letters, truth)
-	res.Rows = append(res.Rows, DefenseRow{
-		Defense:        "hardened-scheduler",
-		LetterAccuracy: acc,
-		SamplesPerIter: meanSamplesPerIter(hardTrace),
+	// The four rows are independent attacks on the same read-only trained
+	// models; par.Map keeps them in the paper's row order.
+	rows, err := par.Map(w.Scale.Workers, 4, func(i int) (DefenseRow, error) {
+		switch i {
+		case 0:
+			return score("none", base.Samples, baselineSPI)
+		case 1:
+			quantized, err := defense.QuantizeSamples(base.Samples, quantStep)
+			if err != nil {
+				return DefenseRow{}, err
+			}
+			return score(fmt.Sprintf("quantize(step=%g)", quantStep), quantized, baselineSPI)
+		case 2:
+			noised, err := defense.NoiseSamples(base.Samples, noiseFrac, w.Scale.Seed+600)
+			if err != nil {
+				return DefenseRow{}, err
+			}
+			return score(fmt.Sprintf("noise(frac=%g)", noiseFrac), noised, baselineSPI)
+		default:
+			// Hardened scheduler: recollect the victim's trace on the
+			// protected device. The spy's channel cap disarms the slow-down
+			// attack and the victim's boosted slices starve the sampler.
+			hardened, err := defense.HardenScheduler(w.Scale.Device, trace.VictimCtx, 4, 1)
+			if err != nil {
+				return DefenseRow{}, err
+			}
+			cfg := w.Scale.RunConfig(w.Scale.Seed+700, true)
+			cfg.Device = hardened
+			hardTrace, err := trace.Collect(base.Model, cfg)
+			if err != nil {
+				return DefenseRow{}, err
+			}
+			rec, err := w.Models.Extract(hardTrace.Samples)
+			if err != nil {
+				// A defense strong enough to break extraction entirely counts
+				// as a zero-accuracy row, not an evaluation failure.
+				return DefenseRow{
+					Defense:        "hardened-scheduler",
+					SamplesPerIter: meanSamplesPerIter(hardTrace),
+				}, nil
+			}
+			truth := attack.LetterTruth(hardTrace.Labels(), rec.Base)
+			_, acc := attack.LetterAccuracy(rec.Letters, truth)
+			return DefenseRow{
+				Defense:        "hardened-scheduler",
+				LetterAccuracy: acc,
+				SamplesPerIter: meanSamplesPerIter(hardTrace),
+			}, nil
+		}
 	})
-	return res, nil
+	if err != nil {
+		return nil, err
+	}
+	return &DefenseResult{Rows: rows}, nil
 }
 
 func meanSamplesPerIter(tr *trace.Trace) float64 {

@@ -6,6 +6,7 @@ import (
 
 	"leakydnn/internal/attack"
 	"leakydnn/internal/dnn"
+	"leakydnn/internal/par"
 )
 
 // HPValueSets returns the hyper-parameter values swept for Table VIII at the
@@ -129,13 +130,15 @@ func Table8(sc Scale, kinds []attack.HPKind) (*Table8Result, error) {
 		return nil, err
 	}
 
-	res := &Table8Result{}
-	for _, kind := range kinds {
+	// Each kind's evaluation is pure inference over the shared trained
+	// models, so the kinds fan out across the worker pool.
+	rows, err := par.Map(sc.Workers, len(kinds), func(k int) (Table8Row, error) {
+		kind := kinds[k]
 		var correct, total int
 		for _, tr := range testTraces {
 			c, t, err := models.EvaluateHP(tr, kind)
 			if err != nil {
-				return nil, err
+				return Table8Row{}, err
 			}
 			correct += c
 			total += t
@@ -149,9 +152,12 @@ func Table8(sc Scale, kinds []attack.HPKind) (*Table8Result, error) {
 		if total > 0 {
 			row.Accuracy = float64(correct) / float64(total)
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table8Result{Rows: rows}, nil
 }
 
 // Render prints the table in the paper's layout.

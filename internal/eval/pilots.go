@@ -9,6 +9,7 @@ import (
 	"leakydnn/internal/dnn"
 	"leakydnn/internal/gpu"
 	"leakydnn/internal/mat"
+	"leakydnn/internal/par"
 	"leakydnn/internal/spy"
 	"leakydnn/internal/tfsim"
 )
@@ -85,9 +86,13 @@ func (sc Scale) pilotSamples(probe spy.Kind, victim *gpu.KernelProfile, minSampl
 	eng.OnSlice = prog.ObserveSlice
 	eng.OnKernelEnd = prog.ObserveKernelEnd
 	if victim != nil {
-		eng.AddChannel(trace2VictimCtx, &gpu.RepeatSource{Kernel: *victim})
+		if !eng.AddChannel(trace2VictimCtx, &gpu.RepeatSource{Kernel: *victim}) {
+			return nil, fmt.Errorf("eval: scheduler rejected pilot victim channel (ctx %d)", trace2VictimCtx)
+		}
 	}
-	prog.AttachTimeSliced(eng)
+	if err := prog.AttachTimeSliced(eng); err != nil {
+		return nil, err
+	}
 
 	horizon := gpu.Nanos(minSamples+8) * sc.SamplePeriod * 4
 	eng.Run(horizon)
@@ -132,14 +137,14 @@ func Table1(sc Scale, samplesPerCell int) (*Table1Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Table1Result{}
-	for i, kind := range spy.Kinds() {
-		samples, err := sc.pilotSamples(kind, &victim, samplesPerCell, sc.Seed+20+int64(i))
+	kinds := spy.Kinds()
+	rows, err := par.Map(sc.Workers, len(kinds), func(i int) (Table1Row, error) {
+		samples, err := sc.pilotSamples(kinds[i], &victim, samplesPerCell, sc.Seed+20+int64(i))
 		if err != nil {
-			return nil, err
+			return Table1Row{}, err
 		}
 		row := Table1Row{
-			Spy:              kind,
+			Spy:              kinds[i],
 			Event1:           statsOf(samples, event1),
 			Event2:           statsOf(samples, event2),
 			SamplesCollected: len(samples),
@@ -147,9 +152,12 @@ func Table1(sc Scale, samplesPerCell int) (*Table1Result, error) {
 		if row.Event1.Mean > 0 {
 			row.RelStdDevEvent1 = row.Event1.Std / row.Event1.Mean
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table1Result{Rows: rows}, nil
 }
 
 // Render prints the table in the paper's layout.
@@ -186,33 +194,30 @@ func Table2(sc Scale, samplesPerCell int) (*Table2Result, error) {
 		{"BiasAdd", dnn.OpBiasAdd},
 		{"Sigmoid", dnn.OpSigmoid},
 	}
-	res := &Table2Result{}
-	for i, v := range victims {
-		k, err := sc.victimOpKernel(v.kind)
-		if err != nil {
-			return nil, err
+	// The last task is the NOP row (idle victim, seed +60).
+	rows, err := par.Map(sc.Workers, len(victims)+1, func(i int) (Table2Row, error) {
+		name, kernel, seed := "NOP", (*gpu.KernelProfile)(nil), sc.Seed+60
+		if i < len(victims) {
+			k, err := sc.victimOpKernel(victims[i].kind)
+			if err != nil {
+				return Table2Row{}, err
+			}
+			name, kernel, seed = victims[i].name, &k, sc.Seed+40+int64(i)
 		}
-		samples, err := sc.pilotSamples(spy.Conv200, &k, samplesPerCell, sc.Seed+40+int64(i))
+		samples, err := sc.pilotSamples(spy.Conv200, kernel, samplesPerCell, seed)
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
-		res.Rows = append(res.Rows, Table2Row{
-			Victim: v.name,
+		return Table2Row{
+			Victim: name,
 			Event1: statsOf(samples, event1),
 			Event2: statsOf(samples, event2),
-		})
-	}
-	// NOP row: the victim kernel is idle.
-	samples, err := sc.pilotSamples(spy.Conv200, nil, samplesPerCell, sc.Seed+60)
+		}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	res.Rows = append(res.Rows, Table2Row{
-		Victim: "NOP",
-		Event1: statsOf(samples, event1),
-		Event2: statsOf(samples, event2),
-	})
-	return res, nil
+	return &Table2Result{Rows: rows}, nil
 }
 
 // Row returns the named row, if present.
@@ -303,8 +308,12 @@ func FigSampling(sc Scale, mps bool) (*FigSamplingResult, error) {
 		}
 		eng.OnKernelEnd = onEnd
 		eng.OnSlice = prog.ObserveSlice
-		eng.AddChannel(trace2VictimCtx, sess.Source())
-		prog.AttachTimeSliced(eng)
+		if !eng.AddChannel(trace2VictimCtx, sess.Source()) {
+			return nil, fmt.Errorf("eval: scheduler rejected victim channel (ctx %d)", trace2VictimCtx)
+		}
+		if err := prog.AttachTimeSliced(eng); err != nil {
+			return nil, err
+		}
 		horizon := (sess.IterationDuration() + sc.IterGap) * gpu.Nanos(sc.Iterations) * 40
 		eng.Run(horizon)
 	}

@@ -11,6 +11,7 @@ import (
 	"leakydnn/internal/attack"
 	"leakydnn/internal/dnn"
 	"leakydnn/internal/gpu"
+	"leakydnn/internal/par"
 	"leakydnn/internal/spy"
 	"leakydnn/internal/tfsim"
 	"leakydnn/internal/trace"
@@ -41,6 +42,11 @@ type Scale struct {
 	Attack attack.Config
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the evaluation pipeline's concurrency. Every task owns
+	// its own seeded RNG and engine, and results are collected in task order,
+	// so any Workers value produces byte-identical tables; 1 reproduces the
+	// historical serial behaviour, <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 // Tiny returns the unit-test scale: 1/500 time constants and the tiny zoo.
@@ -130,17 +136,17 @@ func (sc Scale) RunConfig(seed int64, slowdown bool) trace.RunConfig {
 	}
 }
 
-// CollectTraces runs the spy against every model and returns the traces.
+// CollectTraces runs the spy against every model and returns the traces in
+// model order. Each co-run owns an independent engine seeded from
+// seedBase+i, so the fan-out is deterministic for any worker count.
 func (sc Scale) CollectTraces(models []dnn.Model, seedBase int64) ([]*trace.Trace, error) {
-	out := make([]*trace.Trace, 0, len(models))
-	for i, m := range models {
-		tr, err := trace.Collect(m, sc.RunConfig(seedBase+int64(i), true))
+	return par.Map(sc.Workers, len(models), func(i int) (*trace.Trace, error) {
+		tr, err := trace.Collect(models[i], sc.RunConfig(seedBase+int64(i), true))
 		if err != nil {
-			return nil, fmt.Errorf("eval: collect %s: %w", m.Name, err)
+			return nil, fmt.Errorf("eval: collect %s: %w", models[i].Name, err)
 		}
-		out = append(out, tr)
-	}
-	return out, nil
+		return tr, nil
+	})
 }
 
 // Workbench couples one trained set of MoSConS models with the tested

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"leakydnn/internal/gpu"
+	"leakydnn/internal/par"
 	"leakydnn/internal/spy"
 	"leakydnn/internal/tfsim"
 )
@@ -43,7 +44,9 @@ func (sc Scale) victimIterTime(slowdown bool, withSpy bool, seed int64) (gpu.Nan
 	}
 	tl := &tfsim.Timeline{}
 	eng.OnKernelEnd = tl.Observe
-	eng.AddChannel(trace2VictimCtx, sess.Source())
+	if !eng.AddChannel(trace2VictimCtx, sess.Source()) {
+		return 0, fmt.Errorf("eval: scheduler rejected victim channel (ctx %d)", trace2VictimCtx)
+	}
 	if withSpy {
 		prog, err := spy.NewProgram(spy.Config{
 			Ctx:          trace2SpyCtx,
@@ -55,7 +58,9 @@ func (sc Scale) victimIterTime(slowdown bool, withSpy bool, seed int64) (gpu.Nan
 		if err != nil {
 			return 0, err
 		}
-		prog.AttachTimeSliced(eng)
+		if err := prog.AttachTimeSliced(eng); err != nil {
+			return 0, err
+		}
 	}
 	horizon := (sess.IterationDuration() + sc.IterGap) * gpu.Nanos(sc.Iterations) * 200
 	target := sess.OpsPerIteration() * sc.Iterations
@@ -122,36 +127,41 @@ func (sc Scale) spyThroughput(victimOn bool, seed int64) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		eng.AddChannel(trace2VictimCtx, sess.Source())
+		if !eng.AddChannel(trace2VictimCtx, sess.Source()) {
+			return 0, fmt.Errorf("eval: scheduler rejected victim channel (ctx %d)", trace2VictimCtx)
+		}
 	}
-	prog.AttachTimeSliced(eng)
+	if err := prog.AttachTimeSliced(eng); err != nil {
+		return 0, err
+	}
 	horizon := sc.SamplePeriod * 2000
 	eng.Run(horizon)
 	return float64(spyDone) / (float64(horizon) / 1e9), nil
 }
 
-// SlowdownImpact measures the performance effects of §V-F.
+// SlowdownImpact measures the performance effects of §V-F. The five
+// measurements run on independently seeded engines (+80..+84) and fan out
+// across the worker pool.
 func SlowdownImpact(sc Scale) (*SlowdownResult, error) {
-	baseline, err := sc.victimIterTime(false, false, sc.Seed+80)
+	type measurement struct {
+		iter gpu.Nanos
+		thr  float64
+	}
+	got, err := par.Map(sc.Workers, 5, func(i int) (measurement, error) {
+		switch i {
+		case 0, 1, 2:
+			t, err := sc.victimIterTime(i == 2, i != 0, sc.Seed+80+int64(i))
+			return measurement{iter: t}, err
+		default:
+			thr, err := sc.spyThroughput(i == 4, sc.Seed+80+int64(i))
+			return measurement{thr: thr}, err
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	one, err := sc.victimIterTime(false, true, sc.Seed+81)
-	if err != nil {
-		return nil, err
-	}
-	attacked, err := sc.victimIterTime(true, true, sc.Seed+82)
-	if err != nil {
-		return nil, err
-	}
-	spyAlone, err := sc.spyThroughput(false, sc.Seed+83)
-	if err != nil {
-		return nil, err
-	}
-	spyContended, err := sc.spyThroughput(true, sc.Seed+84)
-	if err != nil {
-		return nil, err
-	}
+	baseline, one, attacked := got[0].iter, got[1].iter, got[2].iter
+	spyAlone, spyContended := got[3].thr, got[4].thr
 	res := &SlowdownResult{
 		BaselineIter:         baseline,
 		OneKernelIter:        one,
@@ -189,24 +199,33 @@ func SlowdownSweep(sc Scale, kernels, blocks, threads []int) ([]SweepPoint, erro
 	if err != nil {
 		return nil, err
 	}
-	var out []SweepPoint
+	// Seeds are assigned in grid order before the runs fan out, preserving
+	// the serial sweep's seed for every point.
+	type task struct {
+		nk, nb, nt int
+		seed       int64
+	}
+	var tasks []task
 	seed := sc.Seed + 91
 	for _, nk := range kernels {
 		for _, nb := range blocks {
 			for _, nt := range threads {
 				seed++
-				iter, err := sc.victimIterTimeCustomSpy(nk, nb, nt, seed)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, SweepPoint{
-					Kernels: nk, Blocks: nb, Threads: nt,
-					VictimSlowdown: float64(iter) / float64(baseline),
-				})
+				tasks = append(tasks, task{nk: nk, nb: nb, nt: nt, seed: seed})
 			}
 		}
 	}
-	return out, nil
+	return par.Map(sc.Workers, len(tasks), func(i int) (SweepPoint, error) {
+		t := tasks[i]
+		iter, err := sc.victimIterTimeCustomSpy(t.nk, t.nb, t.nt, t.seed)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{
+			Kernels: t.nk, Blocks: t.nb, Threads: t.nt,
+			VictimSlowdown: float64(iter) / float64(baseline),
+		}, nil
+	})
 }
 
 // victimIterTimeCustomSpy runs the victim against nk copies of a slow-down
@@ -231,7 +250,9 @@ func (sc Scale) victimIterTimeCustomSpy(nk, blocks, threads int, seed int64) (gp
 			done++
 		}
 	}
-	eng.AddChannel(trace2VictimCtx, sess.Source())
+	if !eng.AddChannel(trace2VictimCtx, sess.Source()) {
+		return 0, fmt.Errorf("eval: scheduler rejected victim channel (ctx %d)", trace2VictimCtx)
+	}
 	for i := 0; i < nk; i++ {
 		k := gpu.KernelProfile{
 			Name:            fmt.Sprintf("spy.sweep.%d", i),
@@ -242,7 +263,9 @@ func (sc Scale) victimIterTimeCustomSpy(nk, blocks, threads int, seed int64) (gp
 			Blocks:          blocks,
 			ThreadsPerBlock: threads,
 		}
-		eng.AddChannel(trace2SpyCtx, &gpu.RepeatSource{Kernel: k})
+		if !eng.AddChannel(trace2SpyCtx, &gpu.RepeatSource{Kernel: k}) {
+			return 0, fmt.Errorf("eval: scheduler rejected sweep spy channel %d (ctx %d)", i, trace2SpyCtx)
+		}
 	}
 
 	target := sess.OpsPerIteration() * sc.Iterations

@@ -50,8 +50,13 @@ type Engine struct {
 	rng *rand.Rand
 
 	channels []*channel
-	now      Nanos
-	lastCtx  ContextID
+	// cursor is the round-robin ring position: the index of the next channel
+	// pickRunnable inspects. Advancing it replaces the old physical slice
+	// rotation (an O(n) copy per candidate) while visiting channels in the
+	// same order.
+	cursor  int
+	now     Nanos
+	lastCtx ContextID
 
 	// Runlist-slot accounting: per scheduling pass, each context may place
 	// at most RunlistSlotsPerCtx channels.
@@ -219,11 +224,17 @@ func (e *Engine) notePassSlot(ctx ContextID) {
 	}
 }
 
-// rotate pops the head channel and pushes it to the back, returning it.
+// rotate returns the channel at the ring cursor and advances the cursor,
+// preserving the exact round-robin visit order of the former physical
+// rotation. Channels must all be attached before Run: a channel added
+// mid-simulation joins the ring at the slice tail rather than behind the
+// cursor.
 func (e *Engine) rotate() *channel {
-	ch := e.channels[0]
-	copy(e.channels, e.channels[1:])
-	e.channels[len(e.channels)-1] = ch
+	ch := e.channels[e.cursor]
+	e.cursor++
+	if e.cursor == len(e.channels) {
+		e.cursor = 0
+	}
 	return ch
 }
 
@@ -245,20 +256,27 @@ func (e *Engine) refill(ch *channel) bool {
 	return true
 }
 
-// grantSlice runs ch's kernel for one occupancy-scaled time slice.
+// grantSlice runs ch's kernel for one occupancy-scaled time slice. The slice
+// always starts strictly before until: when the context-switch cost alone
+// reaches the horizon, the switched-in context keeps residency but its grant
+// waits for the next Run call, so Run can only overshoot the horizon by one
+// slice's refetch stall.
 func (e *Engine) grantSlice(ch *channel, until Nanos) {
 	k := *ch.current
+
+	if ch.ctx != e.lastCtx && e.lastCtx >= 0 {
+		e.now += e.cfg.SwitchCost
+	}
+	e.lastCtx = ch.ctx
+	if e.now >= until {
+		return
+	}
+
 	if ch.started < e.now {
 		// The kernel was preempted mid-flight; keep its original start.
 	} else {
 		ch.started = e.now
 	}
-
-	switched := ch.ctx != e.lastCtx
-	if switched && e.lastCtx >= 0 {
-		e.now += e.cfg.SwitchCost
-	}
-	e.lastCtx = ch.ctx
 
 	// Occupancy-scaled slice: full-device kernels earn the full quantum.
 	// The hardened scheduler additionally boosts the protected context.
@@ -276,11 +294,13 @@ func (e *Engine) grantSlice(ch *channel, until Nanos) {
 	if ch.remaining < run {
 		run = ch.remaining
 	}
-	if rem := until - e.now; rem > 0 && run > rem {
-		run = rem
-	}
 	if run <= 0 {
 		run = 1
+	}
+	// e.now < until here, so this clamp keeps run >= 1 while guaranteeing
+	// the execution part of the grant ends by the horizon.
+	if rem := until - e.now; run > rem {
+		run = rem
 	}
 
 	refetch := e.touchL2(ch, k, run)

@@ -272,6 +272,47 @@ func TestNoRefetchWhenAlone(t *testing.T) {
 	}
 }
 
+// Regression test for the grantSlice horizon clamp: a grant must never start
+// at or after the Run horizon, and Now() may overshoot the horizon only by
+// the cost already committed when the horizon hit — a context switch charged
+// before the check, or one refetch stall. With zero working sets the stall is
+// zero, pinning the permitted overshoot to exactly SwitchCost.
+func TestRunHorizonOvershootBounded(t *testing.T) {
+	cfg := testConfig()
+	eng, err := NewEngine(cfg, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two contexts alternating, so nearly every grant pays the switch cost;
+	// no working set or traffic, so every refetch stall is zero.
+	k := KernelProfile{
+		Name:            "plain",
+		FixedDuration:   700 * Microsecond,
+		Blocks:          cfg.NumSMs,
+		ThreadsPerBlock: 256,
+	}
+	eng.AddChannel(1, &RepeatSource{Kernel: k})
+	eng.AddChannel(2, &RepeatSource{Kernel: k})
+
+	var horizon Nanos
+	eng.OnSlice = func(rec SliceRecord) {
+		if rec.Start >= horizon {
+			t.Fatalf("grant started at %v, at/after horizon %v", rec.Start, horizon)
+		}
+	}
+	// Steps smaller than the slice quantum force grants to straddle the
+	// horizon constantly.
+	step := cfg.SliceQuantum / 3
+	for i := 0; i < 300; i++ {
+		horizon = eng.Now() + step
+		eng.Run(horizon)
+		if over := eng.Now() - horizon; over > cfg.SwitchCost {
+			t.Fatalf("step %d: Now()=%v overshoots horizon %v by %v (> switch cost %v)",
+				i, eng.Now(), horizon, over, cfg.SwitchCost)
+		}
+	}
+}
+
 func TestCountersScaleWithTraffic(t *testing.T) {
 	cfg := testConfig()
 	eng, err := NewEngine(cfg, rand.New(rand.NewSource(7)))

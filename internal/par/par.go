@@ -1,0 +1,97 @@
+// Package par provides the deterministic worker pool the evaluation pipeline
+// fans out on. Every experiment task already owns an independent seeded RNG
+// and simulator engine, so tasks can run concurrently as long as the pool
+// preserves three properties: results come back in task order, errors are
+// reported as the serial loop would report them (the lowest-index failure
+// wins), and no new work starts after a failure (fail-fast). Map guarantees
+// all three, which is what makes parallel table generation byte-identical to
+// the workers=1 serial run.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting: n <= 0 selects
+// runtime.GOMAXPROCS(0), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn(0..n-1) on at most workers goroutines and returns the results
+// in index order. workers <= 0 selects runtime.GOMAXPROCS(0); workers == 1
+// runs serially on the calling goroutine. If any call fails, the error of the
+// lowest failed index is returned (matching what a serial loop would have hit
+// first) and no further indices are dispatched, though calls already in
+// flight run to completion.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	errs := make([]error, n)
+	var next, failed atomic.Int64
+	failed.Store(int64(n)) // sentinel: no failure yet
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || int64(i) > failed.Load() {
+					return
+				}
+				r, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					// Record the lowest failing index so later work stops.
+					for {
+						cur := failed.Load()
+						if int64(i) >= cur || failed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Do is Map for side-effect-only tasks.
+func Do(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

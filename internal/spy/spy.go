@@ -170,6 +170,7 @@ type Program struct {
 	windowSampler *cupti.WindowSampler
 	kernelSampler *cupti.KernelSampler
 	probeSource   *gpu.RepeatSource
+	rejected      int
 }
 
 // NewProgram validates cfg and prepares the spy's kernels and sampler.
@@ -204,16 +205,30 @@ func NewProgram(cfg Config) (*Program, error) {
 	return p, nil
 }
 
-// AttachTimeSliced adds the spy's channels to a time-sliced engine.
-func (p *Program) AttachTimeSliced(eng *gpu.Engine) {
+// AttachTimeSliced adds the spy's channels to a time-sliced engine. The probe
+// channel is mandatory: if the engine rejects it the spy cannot sample at all
+// and an error is returned. Slow-down channels beyond a hardened scheduler's
+// per-context cap fail exactly as a real driver fails surplus channel
+// creation; the spy proceeds disarmed and reports how many channels were
+// refused via RejectedChannels, so no run is silently missing kernels.
+func (p *Program) AttachTimeSliced(eng *gpu.Engine) error {
 	p.probeSource = &gpu.RepeatSource{Kernel: p.probe}
-	eng.AddChannel(p.cfg.Ctx, p.probeSource)
+	if !eng.AddChannel(p.cfg.Ctx, p.probeSource) {
+		return fmt.Errorf("spy: engine rejected probe channel for ctx %d (channel cap reached)", p.cfg.Ctx)
+	}
 	if p.cfg.Slowdown {
 		for _, k := range SlowdownKernels(p.cfg.TimeScale) {
-			eng.AddChannel(p.cfg.Ctx, &gpu.RepeatSource{Kernel: k})
+			if !eng.AddChannel(p.cfg.Ctx, &gpu.RepeatSource{Kernel: k}) {
+				p.rejected++
+			}
 		}
 	}
+	return nil
 }
+
+// RejectedChannels reports how many slow-down channels the scheduler refused
+// (non-zero only under a hardened per-context channel cap).
+func (p *Program) RejectedChannels() int { return p.rejected }
 
 // AttachMPS adds the spy as a leftover-policy secondary under MPS.
 func (p *Program) AttachMPS(eng *gpu.MPSEngine) {

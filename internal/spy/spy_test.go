@@ -112,7 +112,9 @@ func TestProgramWindowSamplingCollectsSamples(t *testing.T) {
 	}
 	eng.OnSlice = prog.ObserveSlice
 	eng.OnKernelEnd = prog.ObserveKernelEnd
-	prog.AttachTimeSliced(eng)
+	if err := prog.AttachTimeSliced(eng); err != nil {
+		t.Fatal(err)
+	}
 	eng.Run(3 * gpu.Millisecond)
 
 	samples := prog.Samples(eng.Now())
@@ -146,7 +148,9 @@ func TestProgramKernelSampling(t *testing.T) {
 	}
 	eng.OnSlice = prog.ObserveSlice
 	eng.OnKernelEnd = prog.ObserveKernelEnd
-	prog.AttachTimeSliced(eng)
+	if err := prog.AttachTimeSliced(eng); err != nil {
+		t.Fatal(err)
+	}
 	eng.Run(gpu.Millisecond)
 
 	samples := prog.Samples(eng.Now())
@@ -169,7 +173,9 @@ func TestProgramSlowdownAddsChannels(t *testing.T) {
 		}
 		names := make(map[string]bool)
 		eng.OnSlice = func(r gpu.SliceRecord) { names[r.Kernel.Name] = true }
-		prog.AttachTimeSliced(eng)
+		if err := prog.AttachTimeSliced(eng); err != nil {
+			t.Fatal(err)
+		}
 		eng.Run(2 * gpu.Millisecond)
 		return len(names)
 	}

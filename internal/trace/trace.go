@@ -52,6 +52,9 @@ type Trace struct {
 	VictimWall gpu.Nanos
 	// SpyProbeLaunches counts completed+launched probe kernels.
 	SpyProbeLaunches int
+	// SpyChannelsRejected counts slow-down channels a hardened scheduler
+	// refused to register (the disarmed slow-down attack of §VI).
+	SpyChannelsRejected int
 }
 
 // Collect runs the victim and spy together under the time-sliced scheduler
@@ -89,8 +92,16 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 		}
 	}
 
-	eng.AddChannel(VictimCtx, sess.Source())
-	prog.AttachTimeSliced(eng)
+	// Ground-truth channels must never be dropped: a hardened scheduler
+	// rejecting the victim or a tenant would silently produce a trace of a
+	// different co-location than the one requested.
+	if !eng.AddChannel(VictimCtx, sess.Source()) {
+		return nil, fmt.Errorf("trace: scheduler rejected the victim channel (ctx %d, MaxChannelsPerCtx=%d)",
+			VictimCtx, cfg.Device.MaxChannelsPerCtx)
+	}
+	if err := prog.AttachTimeSliced(eng); err != nil {
+		return nil, err
+	}
 	for i, tenant := range cfg.BackgroundTenants {
 		tsess, err := tfsim.NewSession(tenant, tfsim.Config{
 			Iterations: 1 << 30, // trains for the whole run
@@ -99,7 +110,11 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: tenant %s: %w", tenant.Name, err)
 		}
-		eng.AddChannel(SpyCtx+1+gpu.ContextID(i), tsess.Source())
+		ctx := SpyCtx + 1 + gpu.ContextID(i)
+		if !eng.AddChannel(ctx, tsess.Source()) {
+			return nil, fmt.Errorf("trace: scheduler rejected tenant %s channel (ctx %d, MaxChannelsPerCtx=%d)",
+				tenant.Name, ctx, cfg.Device.MaxChannelsPerCtx)
+		}
 	}
 
 	horizon := cfg.Horizon
@@ -130,12 +145,13 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 	}
 
 	return &Trace{
-		Model:            m,
-		Ops:              sess.Ops(),
-		Samples:          prog.Samples(eng.Now()),
-		Timeline:         tl,
-		VictimWall:       wall,
-		SpyProbeLaunches: prog.ProbeLaunches(),
+		Model:               m,
+		Ops:                 sess.Ops(),
+		Samples:             prog.Samples(eng.Now()),
+		Timeline:            tl,
+		VictimWall:          wall,
+		SpyProbeLaunches:    prog.ProbeLaunches(),
+		SpyChannelsRejected: prog.RejectedChannels(),
 	}, nil
 }
 
