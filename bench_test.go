@@ -380,6 +380,35 @@ func benchCollectWorkers(b *testing.B, workers int) {
 func BenchmarkCollectTracesWorkers1(b *testing.B) { benchCollectWorkers(b, 1) }
 func BenchmarkCollectTracesWorkers4(b *testing.B) { benchCollectWorkers(b, 4) }
 
+// benchTrainModels runs the full MoSConS training under a fixed worker-pool
+// size, with trace collection outside the timer. Comparing the
+// Workers1/Workers4 variants measures the deterministic training fan-out's
+// speedup (head-level concurrency plus minibatch worker pools; expect gains
+// on a multi-core runner, and byte-identical models at any setting).
+func benchTrainModels(b *testing.B, workers int) {
+	sc := benchScale()
+	sc.Workers = workers
+	sc.Attack.Batch = 2
+	profiled, err := sc.CollectTraces(sc.Profiled, sc.Seed+100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sc.AttackConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		models, err := attack.TrainModels(profiled, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if models.Long == nil || models.Op == nil {
+			b.Fatal("training produced incomplete model set")
+		}
+	}
+}
+
+func BenchmarkTrainModelsWorkers1(b *testing.B) { benchTrainModels(b, 1) }
+func BenchmarkTrainModelsWorkers4(b *testing.B) { benchTrainModels(b, 4) }
+
 // BenchmarkExtraction measures one full MoSConS extraction on a collected
 // trace (training excluded).
 func BenchmarkExtraction(b *testing.B) {

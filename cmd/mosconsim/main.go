@@ -32,7 +32,9 @@ func run() error {
 		saveFile  = flag.String("save", "", "save the trained model set to this file")
 		loadFile  = flag.String("load", "", "load a previously saved model set instead of training")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0),
-			"trace-collection worker-pool size (results are identical for any value; 1 runs serially)")
+			"trace-collection and training worker-pool size (results are identical for any value; 1 runs serially)")
+		batch = flag.Int("batch", 0,
+			"LSTM minibatch size: sequences per optimizer step (0 = 1, the per-sequence schedule)")
 	)
 	flag.Parse()
 
@@ -42,6 +44,7 @@ func run() error {
 	}
 	sc.Seed = *seed
 	sc.Workers = *workers
+	sc.Attack.Batch = *batch
 
 	fmt.Printf("== MoSConS end-to-end (%s scale) ==\n", sc.Name)
 

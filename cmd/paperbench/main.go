@@ -35,7 +35,9 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		samples   = flag.Int("samples", 60, "samples per pilot-table cell")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0),
-			"evaluation worker-pool size (results are identical for any value; 1 runs serially)")
+			"evaluation and training worker-pool size (results are identical for any value; 1 runs serially)")
+		batch = flag.Int("batch", 0,
+			"LSTM minibatch size: sequences per optimizer step (0 = 1, the per-sequence schedule)")
 	)
 	flag.Parse()
 
@@ -45,6 +47,7 @@ func run() error {
 	}
 	sc.Seed = *seed
 	sc.Workers = *workers
+	sc.Attack.Batch = *batch
 
 	selected := experiments
 	if *expName != "all" {

@@ -2,11 +2,14 @@ package attack
 
 import (
 	"bytes"
+	"fmt"
+	"reflect"
 	"testing"
 
 	"leakydnn/internal/dnn"
 	"leakydnn/internal/gbdt"
 	"leakydnn/internal/gpu"
+	"leakydnn/internal/lstm"
 	"leakydnn/internal/spy"
 	"leakydnn/internal/tfsim"
 	"leakydnn/internal/trace"
@@ -181,6 +184,83 @@ func TestEndToEndExtraction(t *testing.T) {
 	}
 	if rec2.Optimizer != rec.Optimizer {
 		t.Fatalf("reloaded optimizer %v, original %v", rec2.Optimizer, rec.Optimizer)
+	}
+}
+
+// TestTrainModelsDeterministicAcrossWorkers pins the PR's load-bearing
+// guarantee at the pipeline level: the full MoSConS training run — head
+// fan-out plus minibatch worker pools — produces byte-identical models and
+// identical reports for every worker count.
+func TestTrainModelsDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full training run is expensive")
+	}
+	profiled := collectAll(t, profiledModels(), 4, 300)
+
+	train := func(workers int) *Models {
+		cfg := FastConfig()
+		cfg.Epochs = 6
+		cfg.Batch = 2
+		cfg.Workers = workers
+		m, err := TrainModels(profiled, cfg)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		return m
+	}
+	netBytes := func(net *lstm.Network) []byte {
+		if net == nil {
+			return nil
+		}
+		var buf bytes.Buffer
+		if err := net.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	ref := train(1)
+	for _, workers := range []int{4, 0} {
+		got := train(workers)
+		nets := []struct {
+			name     string
+			ref, got *lstm.Network
+		}{
+			{"Mlong", ref.Long, got.Long},
+			{"Vlong", ref.VLong, got.VLong},
+			{"Mop", ref.Op, got.Op},
+			{"Vop", ref.VOp, got.VOp},
+		}
+		for kind := HPKind(0); kind < NumHPKinds; kind++ {
+			nets = append(nets, struct {
+				name     string
+				ref, got *lstm.Network
+			}{fmt.Sprintf("Mhp[%s]", kind), ref.HP[kind], got.HP[kind]})
+		}
+		for _, n := range nets {
+			if !bytes.Equal(netBytes(n.ref), netBytes(n.got)) {
+				t.Errorf("Workers=%d: %s differs from Workers=1", workers, n.name)
+			}
+		}
+		if !reflect.DeepEqual(ref.Report, got.Report) {
+			t.Errorf("Workers=%d: report differs:\n  got  %v\n  want %v", workers, got.Report, ref.Report)
+		}
+		if !reflect.DeepEqual(ref.HPVocab, got.HPVocab) {
+			t.Errorf("Workers=%d: HP vocabularies differ", workers)
+		}
+		if got.majorityLong != ref.majorityLong || got.majorityOp != ref.majorityOp {
+			t.Errorf("Workers=%d: majority selection differs", workers)
+		}
+	}
+
+	// Every LSTM that trained must have reported its final accuracy —
+	// including the five Mhp heads, whose results used to be discarded.
+	for kind := HPKind(0); kind < NumHPKinds; kind++ {
+		key := fmt.Sprintf("Mhp[%s]", kind)
+		_, reported := ref.Report[key]
+		if trained := ref.HP[kind] != nil; trained != reported {
+			t.Errorf("%s: trained=%v but reported=%v", key, trained, reported)
+		}
 	}
 }
 

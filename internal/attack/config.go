@@ -46,6 +46,16 @@ type Config struct {
 
 	// Seed drives every model's initialization and shuffling.
 	Seed int64
+
+	// Batch is the LSTM minibatch size: each optimizer step averages the
+	// gradients of this many sequences. 0 defaults to 1, which reproduces the
+	// historical per-sequence update schedule bit for bit.
+	Batch int
+	// Workers bounds the concurrency of training: independent model heads
+	// train in parallel and each LSTM spreads its minibatch across the same
+	// number of workers. Any value produces byte-identical models; 1 trains
+	// serially, <= 0 selects runtime.GOMAXPROCS.
+	Workers int
 }
 
 // DefaultConfig returns the paper's attack parameters.
@@ -97,6 +107,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("attack: Epochs must be >= 1, got %d", c.Epochs)
 	case c.MinorClassBoost < 1:
 		return fmt.Errorf("attack: MinorClassBoost must be >= 1, got %v", c.MinorClassBoost)
+	case c.Batch < 0:
+		return fmt.Errorf("attack: negative batch size %d", c.Batch)
 	}
 	return nil
 }

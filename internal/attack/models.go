@@ -8,6 +8,7 @@ import (
 	"leakydnn/internal/dnn"
 	"leakydnn/internal/gbdt"
 	"leakydnn/internal/lstm"
+	"leakydnn/internal/par"
 	"leakydnn/internal/trace"
 )
 
@@ -66,19 +67,54 @@ func TrainModels(traces []*trace.Trace, cfg Config) (*Models, error) {
 	if err := m.trainGap(lts); err != nil {
 		return nil, err
 	}
-	if err := m.trainLong(lts); err != nil {
-		return nil, err
+	// Mlong, Mop and the five Mhp heads have disjoint seeds and disjoint
+	// label sets, so they train concurrently on the worker pool. Each trainer
+	// writes only its own Models field and returns its Report entries, which
+	// are merged on the calling goroutine in fixed task order — the Report
+	// map itself is never touched from a worker.
+	heads := []func() (map[string]float64, error){
+		func() (map[string]float64, error) { return m.trainLong(lts) },
+		func() (map[string]float64, error) { return m.trainOp(lts) },
 	}
-	if err := m.trainOp(lts); err != nil {
-		return nil, err
+	for kind := HPKind(0); kind < NumHPKinds; kind++ {
+		kind := kind
+		heads = append(heads, func() (map[string]float64, error) {
+			return m.trainHPHead(lts, kind)
+		})
 	}
-	if err := m.trainHP(lts); err != nil {
+	if err := m.runTrainers(heads); err != nil {
 		return nil, err
 	}
 	if err := m.trainVoting(lts); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// runTrainers executes the independent trainers on the worker pool and merges
+// their report entries in fixed task order.
+func (m *Models) runTrainers(trainers []func() (map[string]float64, error)) error {
+	reports, err := par.Map(m.Cfg.Workers, len(trainers), func(i int) (map[string]float64, error) {
+		return trainers[i]()
+	})
+	if err != nil {
+		return err
+	}
+	for _, rep := range reports {
+		for k, v := range rep {
+			m.Report[k] = v
+		}
+	}
+	return nil
+}
+
+// lstmConfig fills the fields every inference LSTM shares from the attack
+// configuration; the per-head geometry and seed come from the caller.
+func (m *Models) lstmConfig(cfg lstm.Config) lstm.Config {
+	cfg.LearningRate = m.Cfg.LearningRate
+	cfg.Batch = m.Cfg.Batch
+	cfg.Workers = m.Cfg.Workers
+	return cfg
 }
 
 func (m *Models) trainGap(lts []*labelledTrace) error {
@@ -102,7 +138,7 @@ func (m *Models) trainGap(lts []*labelledTrace) error {
 	return nil
 }
 
-func (m *Models) trainLong(lts []*labelledTrace) error {
+func (m *Models) trainLong(lts []*labelledTrace) (map[string]float64, error) {
 	// Weighted softmax (§IV-B): the paper amplifies the loss of the minor
 	// classes because long conv ops produce far more samples than anything
 	// else. We compute the amplification from the actual class frequencies —
@@ -134,16 +170,15 @@ func (m *Models) trainLong(lts []*labelledTrace) error {
 		weights[i] = w
 	}
 
-	net, err := lstm.New(lstm.Config{
+	net, err := lstm.New(m.lstmConfig(lstm.Config{
 		InputDim:     featureDim(lts),
 		Hidden:       m.Cfg.LongHidden,
 		Classes:      int(dnn.NumLongClasses),
-		LearningRate: m.Cfg.LearningRate,
 		ClassWeights: weights,
 		Seed:         m.Cfg.Seed + 1,
-	})
+	}))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var seqs []lstm.Sequence
 	for _, lt := range lts {
@@ -160,23 +195,21 @@ func (m *Models) trainLong(lts []*labelledTrace) error {
 	}
 	results, err := net.Train(seqs, m.Cfg.Epochs)
 	if err != nil {
-		return fmt.Errorf("train Mlong: %w", err)
+		return nil, fmt.Errorf("train Mlong: %w", err)
 	}
-	m.Report["Mlong"] = results[len(results)-1].Accuracy
 	m.Long = net
-	return nil
+	return map[string]float64{"Mlong": results[len(results)-1].Accuracy}, nil
 }
 
-func (m *Models) trainOp(lts []*labelledTrace) error {
-	net, err := lstm.New(lstm.Config{
-		InputDim:     featureDim(lts),
-		Hidden:       m.Cfg.OpHidden,
-		Classes:      NumOtherOps,
-		LearningRate: m.Cfg.LearningRate,
-		Seed:         m.Cfg.Seed + 2,
-	})
+func (m *Models) trainOp(lts []*labelledTrace) (map[string]float64, error) {
+	net, err := lstm.New(m.lstmConfig(lstm.Config{
+		InputDim: featureDim(lts),
+		Hidden:   m.Cfg.OpHidden,
+		Classes:  NumOtherOps,
+		Seed:     m.Cfg.Seed + 2,
+	}))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var seqs []lstm.Sequence
 	for _, lt := range lts {
@@ -200,76 +233,74 @@ func (m *Models) trainOp(lts []*labelledTrace) error {
 	}
 	results, err := net.Train(seqs, m.Cfg.Epochs)
 	if err != nil {
-		return fmt.Errorf("train Mop: %w", err)
+		return nil, fmt.Errorf("train Mop: %w", err)
 	}
-	m.Report["Mop"] = results[len(results)-1].Accuracy
 	m.Op = net
-	return nil
+	return map[string]float64{"Mop": results[len(results)-1].Accuracy}, nil
 }
 
-// trainHP builds the five Mhp heads. Each head's label sits on the last
-// sample of the owning layer's op run (§IV-C) and the vocabulary is the set
-// of values present in the profiled models.
-func (m *Models) trainHP(lts []*labelledTrace) error {
-	for kind := HPKind(0); kind < NumHPKinds; kind++ {
-		vocab := hpVocabulary(lts, kind)
-		m.HPVocab[kind] = vocab
-		if len(vocab) < 2 {
-			// Nothing to learn (e.g. single optimizer profiled); the head
-			// stays nil and extraction falls back to the only value.
-			continue
-		}
-		index := make(map[int]int, len(vocab))
-		for i, v := range vocab {
-			index[v] = i
-		}
+// trainHPHead builds one Mhp head. The head's label sits on the last sample
+// of the owning layer's op run (§IV-C) and the vocabulary is the set of
+// values present in the profiled models. The head writes only its own slots
+// of HP and HPVocab, so the five heads can train concurrently.
+func (m *Models) trainHPHead(lts []*labelledTrace, kind HPKind) (map[string]float64, error) {
+	vocab := hpVocabulary(lts, kind)
+	m.HPVocab[kind] = vocab
+	if len(vocab) < 2 {
+		// Nothing to learn (e.g. single optimizer profiled); the head
+		// stays nil and extraction falls back to the only value.
+		return nil, nil
+	}
+	index := make(map[int]int, len(vocab))
+	for i, v := range vocab {
+		index[v] = i
+	}
 
-		net, err := lstm.New(lstm.Config{
-			InputDim:     featureDim(lts),
-			Hidden:       m.Cfg.HPHidden,
-			Classes:      len(vocab),
-			LearningRate: m.Cfg.LearningRate,
-			Seed:         m.Cfg.Seed + 10 + int64(kind),
-		})
-		if err != nil {
-			return err
-		}
-		var seqs []lstm.Sequence
-		for _, lt := range lts {
-			for _, it := range lt.iters {
-				n := it.End - it.Start
-				seq := lstm.Sequence{
-					Inputs: lt.features[it.Start:it.End],
-					Labels: make([]int, n),
-					Mask:   make([]bool, n),
+	net, err := lstm.New(m.lstmConfig(lstm.Config{
+		InputDim: featureDim(lts),
+		Hidden:   m.Cfg.HPHidden,
+		Classes:  len(vocab),
+		Seed:     m.Cfg.Seed + 10 + int64(kind),
+	}))
+	if err != nil {
+		return nil, err
+	}
+	var seqs []lstm.Sequence
+	for _, lt := range lts {
+		for _, it := range lt.iters {
+			n := it.End - it.Start
+			seq := lstm.Sequence{
+				Inputs: lt.features[it.Start:it.End],
+				Labels: make([]int, n),
+				Mask:   make([]bool, n),
+			}
+			any := false
+			for i := it.Start; i < it.End; i++ {
+				seq.Labels[i-it.Start] = -1
+				if !hpLabelPosition(lt.labels, i, kind) {
+					continue
 				}
-				any := false
-				for i := it.Start; i < it.End; i++ {
-					seq.Labels[i-it.Start] = -1
-					if !hpLabelPosition(lt.labels, i, kind) {
-						continue
-					}
-					v, _ := hpValueOf(kind, lt.labels[i])
-					if cls, ok := index[v]; ok {
-						seq.Labels[i-it.Start] = cls
-						seq.Mask[i-it.Start] = true
-						any = true
-					}
-				}
-				if any {
-					seqs = append(seqs, seq)
+				v, _ := hpValueOf(kind, lt.labels[i])
+				if cls, ok := index[v]; ok {
+					seq.Labels[i-it.Start] = cls
+					seq.Mask[i-it.Start] = true
+					any = true
 				}
 			}
+			if any {
+				seqs = append(seqs, seq)
+			}
 		}
-		if len(seqs) == 0 {
-			continue
-		}
-		if _, err := net.Train(seqs, m.Cfg.Epochs); err != nil {
-			return fmt.Errorf("train Mhp[%s]: %w", kind, err)
-		}
-		m.HP[kind] = net
 	}
-	return nil
+	if len(seqs) == 0 {
+		return nil, nil
+	}
+	results, err := net.Train(seqs, m.Cfg.Epochs)
+	if err != nil {
+		return nil, fmt.Errorf("train Mhp[%s]: %w", kind, err)
+	}
+	m.HP[kind] = net
+	return map[string]float64{fmt.Sprintf("Mhp[%s]", kind): results[len(results)-1].Accuracy}, nil
 }
 
 // hpLabelPosition reports whether sample i is the last sample of an op run
@@ -397,50 +428,63 @@ func (m *Models) trainVoting(lts []*labelledTrace) error {
 		}
 	}
 
-	vlong, err := lstm.New(lstm.Config{
-		InputDim:     int(dnn.NumLongClasses) * n,
-		Hidden:       m.Cfg.VoteHidden,
-		Classes:      int(dnn.NumLongClasses),
-		LearningRate: m.Cfg.LearningRate,
-		Seed:         m.Cfg.Seed + 3,
+	// The two voting models are independent once the datasets exist (the
+	// shared noise RNG is fully consumed above), so they train concurrently
+	// like the inference heads.
+	return m.runTrainers([]func() (map[string]float64, error){
+		func() (map[string]float64, error) { return m.trainVlong(longSeqs, valLong, n) },
+		func() (map[string]float64, error) { return m.trainVop(opSeqs, valOp, n) },
 	})
-	if err != nil {
-		return err
-	}
-	vlongRes, err := vlong.Train(longSeqs, m.Cfg.Epochs)
-	if err != nil {
-		return fmt.Errorf("train Vlong: %w", err)
-	}
-	m.Report["Vlong"] = vlongRes[len(vlongRes)-1].Accuracy
-	m.VLong = vlong
-	m.majorityLong, err = m.selectMajority(vlong, valLong, int(dnn.NumLongClasses), n)
-	if err != nil {
-		return err
-	}
-	m.Report["Vlong.majority"] = boolToFloat(m.majorityLong)
+}
 
-	vop, err := lstm.New(lstm.Config{
-		InputDim:     NumOtherOps * n,
-		Hidden:       m.Cfg.VoteHidden,
-		Classes:      NumOtherOps,
-		LearningRate: m.Cfg.LearningRate,
-		Seed:         m.Cfg.Seed + 4,
-	})
+func (m *Models) trainVlong(seqs, val []lstm.Sequence, n int) (map[string]float64, error) {
+	vlong, err := lstm.New(m.lstmConfig(lstm.Config{
+		InputDim: int(dnn.NumLongClasses) * n,
+		Hidden:   m.Cfg.VoteHidden,
+		Classes:  int(dnn.NumLongClasses),
+		Seed:     m.Cfg.Seed + 3,
+	}))
 	if err != nil {
-		return err
+		return nil, err
 	}
-	vopRes, err := vop.Train(opSeqs, m.Cfg.Epochs)
+	res, err := vlong.Train(seqs, m.Cfg.Epochs)
 	if err != nil {
-		return fmt.Errorf("train Vop: %w", err)
+		return nil, fmt.Errorf("train Vlong: %w", err)
 	}
-	m.Report["Vop"] = vopRes[len(vopRes)-1].Accuracy
+	m.VLong = vlong
+	m.majorityLong, err = m.selectMajority(vlong, val, int(dnn.NumLongClasses), n)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]float64{
+		"Vlong":          res[len(res)-1].Accuracy,
+		"Vlong.majority": boolToFloat(m.majorityLong),
+	}, nil
+}
+
+func (m *Models) trainVop(seqs, val []lstm.Sequence, n int) (map[string]float64, error) {
+	vop, err := lstm.New(m.lstmConfig(lstm.Config{
+		InputDim: NumOtherOps * n,
+		Hidden:   m.Cfg.VoteHidden,
+		Classes:  NumOtherOps,
+		Seed:     m.Cfg.Seed + 4,
+	}))
+	if err != nil {
+		return nil, err
+	}
+	res, err := vop.Train(seqs, m.Cfg.Epochs)
+	if err != nil {
+		return nil, fmt.Errorf("train Vop: %w", err)
+	}
 	m.VOp = vop
-	m.majorityOp, err = m.selectMajority(vop, valOp, NumOtherOps, n)
+	m.majorityOp, err = m.selectMajority(vop, val, NumOtherOps, n)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	m.Report["Vop.majority"] = boolToFloat(m.majorityOp)
-	return nil
+	return map[string]float64{
+		"Vop":          res[len(res)-1].Accuracy,
+		"Vop.majority": boolToFloat(m.majorityOp),
+	}, nil
 }
 
 // selectMajority compares the trained voting LSTM against the per-position

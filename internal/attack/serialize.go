@@ -38,6 +38,10 @@ func (m *Models) Save(w io.Writer) error {
 		MajorityOp:   m.majorityOp,
 		Report:       m.Report,
 	}
+	// Workers is an execution knob, not a model property: dropping it keeps
+	// the encoding identical across worker-pool settings. Batch stays — it
+	// changes the training trajectory and therefore describes the models.
+	snap.Cfg.Workers = 0
 	if m.Scaler != nil {
 		snap.ScalerMin = m.Scaler.Min
 		snap.ScalerMax = m.Scaler.Max

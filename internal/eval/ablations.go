@@ -177,11 +177,11 @@ func AblationWeightedLoss(sc Scale) (*WeightedLossAblation, error) {
 		return overall, nil
 	}
 
-	weighted, err := score(sc.Attack)
+	weighted, err := score(sc.AttackConfig())
 	if err != nil {
 		return nil, err
 	}
-	uniform := sc.Attack
+	uniform := sc.AttackConfig()
 	uniform.MinorClassBoost = 1
 	uniformAcc, err := score(uniform)
 	if err != nil {
@@ -221,7 +221,7 @@ func AblationCounterGroups(sc Scale) (*CounterGroupAblation, error) {
 		if err != nil {
 			return 0, err
 		}
-		models, err := attack.TrainModels(profiled, sc.Attack)
+		models, err := attack.TrainModels(profiled, sc.AttackConfig())
 		if err != nil {
 			return 0, err
 		}

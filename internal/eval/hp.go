@@ -121,7 +121,7 @@ func Table8(sc Scale, kinds []attack.HPKind) (*Table8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	models, err := attack.TrainModels(trainTraces, sc.Attack)
+	models, err := attack.TrainModels(trainTraces, sc.AttackConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -136,6 +136,18 @@ func (sc Scale) RunConfig(seed int64, slowdown bool) trace.RunConfig {
 	}
 }
 
+// AttackConfig returns the attack configuration with the evaluation's worker
+// bound threaded through, so MoSConS training shares the same concurrency
+// knob as trace collection. An explicit Attack.Workers wins over the
+// evaluation-wide setting.
+func (sc Scale) AttackConfig() attack.Config {
+	cfg := sc.Attack
+	if cfg.Workers == 0 {
+		cfg.Workers = sc.Workers
+	}
+	return cfg
+}
+
 // CollectTraces runs the spy against every model and returns the traces in
 // model order. Each co-run owns an independent engine seeded from
 // seedBase+i, so the fan-out is deterministic for any worker count.
@@ -169,7 +181,7 @@ func NewWorkbench(sc Scale) (*Workbench, error) {
 	if err != nil {
 		return nil, err
 	}
-	models, err := attack.TrainModels(profiled, sc.Attack)
+	models, err := attack.TrainModels(profiled, sc.AttackConfig())
 	if err != nil {
 		return nil, err
 	}

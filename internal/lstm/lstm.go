@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"leakydnn/internal/mat"
+	"leakydnn/internal/par"
 )
 
 // Config describes a network.
@@ -34,6 +35,17 @@ type Config struct {
 	ClassWeights []float64
 	// Seed drives weight initialization and shuffling.
 	Seed int64
+
+	// Batch is the minibatch size: the gradients of up to Batch sequences
+	// are accumulated into a single Adam step. Partial gradients are reduced
+	// in fixed index order, so the trained network never depends on Workers.
+	// 0 defaults to 1, which reproduces the historical per-sequence update
+	// schedule bit for bit.
+	Batch int
+	// Workers bounds the worker pool that computes a minibatch's
+	// per-sequence gradients concurrently. Any value trains a byte-identical
+	// network; 1 runs serially, <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 func (c *Config) defaults() error {
@@ -51,6 +63,12 @@ func (c *Config) defaults() error {
 	}
 	if c.ClassWeights != nil && len(c.ClassWeights) != c.Classes {
 		return fmt.Errorf("lstm: %d class weights for %d classes", len(c.ClassWeights), c.Classes)
+	}
+	if c.Batch < 0 {
+		return fmt.Errorf("lstm: negative batch size %d", c.Batch)
+	}
+	if c.Batch == 0 {
+		c.Batch = 1
 	}
 	return nil
 }
@@ -88,7 +106,9 @@ func (s Sequence) validate(inputDim, classes int) error {
 	return nil
 }
 
-// Network is a trained (or trainable) LSTM classifier.
+// Network is a trained (or trainable) LSTM classifier. Predict and
+// PredictProbs are safe for concurrent use on a trained network; Train is
+// not (it parallelizes internally instead, see Config.Workers).
 type Network struct {
 	cfg Config
 	rng *rand.Rand
@@ -133,37 +153,79 @@ func New(cfg Config) (*Network, error) {
 // Config returns the network's configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-// stepCache holds one timestep's forward intermediates for BPTT.
+// stepCache holds one timestep's forward intermediates for BPTT. Its gate
+// and state vectors are views into one contiguous per-step buffer owned by a
+// scratch, so a whole timestep costs one allocation — amortized to zero once
+// the scratch has grown to the longest sequence it has seen.
 type stepCache struct {
-	x             []float64
-	i, f, g, o    []float64
-	c, h, tanhC   []float64
-	probs         []float64
-	hPrev, cPrev  []float64
-	logitsBacked  bool
-	dLogitsCached []float64
+	x            []float64
+	i, f, g, o   []float64
+	c, h, tanhC  []float64
+	probs        []float64
+	hPrev, cPrev []float64
 }
 
-// forward runs the network over the sequence, returning per-step caches.
-func (n *Network) forward(inputs [][]float64) []*stepCache {
+// scratch holds the reusable forward/backward buffers for one goroutine.
+// Reusing a scratch across calls eliminates the per-timestep allocation
+// churn of training; concurrent callers must use distinct scratches (each
+// minibatch slot owns one).
+type scratch struct {
+	hidden, classes int
+	steps           []*stepCache
+	zero            []float64 // read-only all-zero h/c state for t=0
+	z               []float64 // 4H gate pre-activations
+	logits          []float64 // C readout logits
+	dh, dc, hTmp    []float64 // H-sized backward temporaries
+	dhNext, dcNext  []float64
+	dz              []float64 // 4H stacked gate deltas
+	dLogits         []float64 // C softmax/cross-entropy delta
+}
+
+func (n *Network) newScratch() *scratch {
+	h, c := n.cfg.Hidden, n.cfg.Classes
+	return &scratch{
+		hidden: h, classes: c,
+		zero:    make([]float64, h),
+		z:       make([]float64, 4*h),
+		logits:  make([]float64, c),
+		dh:      make([]float64, h),
+		dc:      make([]float64, h),
+		hTmp:    make([]float64, h),
+		dhNext:  make([]float64, h),
+		dcNext:  make([]float64, h),
+		dz:      make([]float64, 4*h),
+		dLogits: make([]float64, c),
+	}
+}
+
+// step returns the t-th reusable step cache, growing the pool on demand.
+func (s *scratch) step(t int) *stepCache {
+	for len(s.steps) <= t {
+		h := s.hidden
+		buf := make([]float64, 7*h)
+		s.steps = append(s.steps, &stepCache{
+			i: buf[0:h], f: buf[h : 2*h], g: buf[2*h : 3*h], o: buf[3*h : 4*h],
+			c: buf[4*h : 5*h], h: buf[5*h : 6*h], tanhC: buf[6*h : 7*h],
+			probs: make([]float64, s.classes),
+		})
+	}
+	return s.steps[t]
+}
+
+// forward runs the network over the sequence into s, returning per-step
+// caches valid until the scratch's next use.
+func (n *Network) forward(inputs [][]float64, s *scratch) []*stepCache {
 	h := n.cfg.Hidden
-	hPrev := make([]float64, h)
-	cPrev := make([]float64, h)
-	caches := make([]*stepCache, len(inputs))
+	hPrev, cPrev := s.zero, s.zero
 
 	for t, x := range inputs {
-		z := mat.MulVec(n.wx, x)
-		mat.AddVec(z, mat.MulVec(n.wh, hPrev))
+		sc := s.step(t)
+		sc.x, sc.hPrev, sc.cPrev = x, hPrev, cPrev
+		z := s.z
+		mat.MulVecInto(z, n.wx, x)
+		mat.MulVecAccum(z, n.wh, hPrev)
 		mat.AddVec(z, n.b)
 
-		sc := &stepCache{
-			x: x,
-			i: make([]float64, h), f: make([]float64, h),
-			g: make([]float64, h), o: make([]float64, h),
-			c: make([]float64, h), h: make([]float64, h),
-			tanhC: make([]float64, h),
-			hPrev: hPrev, cPrev: cPrev,
-		}
 		for j := 0; j < h; j++ {
 			sc.i[j] = mat.Sigmoid(z[j])
 			sc.f[j] = mat.Sigmoid(z[h+j])
@@ -173,14 +235,13 @@ func (n *Network) forward(inputs [][]float64) []*stepCache {
 			sc.tanhC[j] = math.Tanh(sc.c[j])
 			sc.h[j] = sc.o[j] * sc.tanhC[j]
 		}
-		logits := mat.MulVec(n.wy, sc.h)
-		mat.AddVec(logits, n.by)
-		sc.probs = mat.Softmax(logits)
+		mat.MulVecInto(s.logits, n.wy, sc.h)
+		mat.AddVec(s.logits, n.by)
+		mat.SoftmaxInto(sc.probs, s.logits)
 
-		caches[t] = sc
 		hPrev, cPrev = sc.h, sc.c
 	}
-	return caches
+	return s.steps[:len(inputs)]
 }
 
 // PredictProbs returns per-timestep class probabilities for the sequence.
@@ -193,10 +254,10 @@ func (n *Network) PredictProbs(inputs [][]float64) ([][]float64, error) {
 			return nil, fmt.Errorf("lstm: input %d has dim %d, want %d", t, len(x), n.cfg.InputDim)
 		}
 	}
-	caches := n.forward(inputs)
+	caches := n.forward(inputs, n.newScratch())
 	out := make([][]float64, len(caches))
 	for t, sc := range caches {
-		out[t] = sc.probs
+		out[t] = mat.CloneVec(sc.probs)
 	}
 	return out, nil
 }
@@ -230,20 +291,53 @@ func (n *Network) newGrads() *grads {
 	}
 }
 
-// backward accumulates gradients for one sequence and returns its summed
-// weighted cross-entropy loss and the number of counted timesteps.
-func (n *Network) backward(seq Sequence, g *grads) (float64, int) {
-	caches := n.forward(seq.Inputs)
+// zero resets every gradient buffer in place.
+func (g *grads) zero() {
+	g.wx.Zero()
+	g.wh.Zero()
+	g.wy.Zero()
+	zeroVec(g.b)
+	zeroVec(g.by)
+}
+
+// add accumulates o into g.
+func (g *grads) add(o *grads) {
+	g.wx.Add(o.wx)
+	g.wh.Add(o.wh)
+	g.wy.Add(o.wy)
+	mat.AddVec(g.b, o.b)
+	mat.AddVec(g.by, o.by)
+}
+
+// reduceGrads sums the partial gradients into dst in slice order. The
+// summation order is fixed — index 0 first, then 1, and so on — so the
+// reduced gradient is independent of which worker produced which partial;
+// this is the property the cross-worker determinism guarantee rests on,
+// since floating-point addition is not associative.
+func reduceGrads(dst *grads, partials []*grads) {
+	dst.zero()
+	for _, p := range partials {
+		dst.add(p)
+	}
+}
+
+// backward accumulates gradients for one sequence into g, using s for every
+// intermediate buffer. It returns the sequence's summed weighted
+// cross-entropy loss, the number of counted timesteps, and how many of them
+// the forward pass already classified correctly — the epoch's monitoring
+// stats, at no extra forward cost.
+func (n *Network) backward(seq Sequence, g *grads, s *scratch) (loss float64, counted, correct int) {
+	caches := n.forward(seq.Inputs, s)
 	h := n.cfg.Hidden
 
-	dhNext := make([]float64, h)
-	dcNext := make([]float64, h)
-	var loss float64
-	var counted int
+	dhNext, dcNext := s.dhNext, s.dcNext
+	zeroVec(dhNext)
+	zeroVec(dcNext)
 
 	for t := len(caches) - 1; t >= 0; t-- {
 		sc := caches[t]
-		dh := mat.CloneVec(dhNext)
+		dh := s.dh
+		copy(dh, dhNext)
 
 		if seq.Mask == nil || seq.Mask[t] {
 			label := seq.Labels[t]
@@ -257,48 +351,45 @@ func (n *Network) backward(seq Sequence, g *grads) (float64, int) {
 			}
 			loss += -w * math.Log(p)
 			counted++
+			if mat.ArgMax(sc.probs) == label {
+				correct++
+			}
 
-			dLogits := mat.CloneVec(sc.probs)
+			dLogits := s.dLogits
+			copy(dLogits, sc.probs)
 			dLogits[label] -= 1
 			mat.ScaleVec(dLogits, w)
 
 			g.wy.AddOuter(dLogits, sc.h)
 			mat.AddVec(g.by, dLogits)
-			mat.AddVec(dh, mat.MulVecT(n.wy, dLogits))
+			mat.MulVecTInto(s.hTmp, n.wy, dLogits)
+			mat.AddVec(dh, s.hTmp)
 		}
 
-		// Through h = o * tanh(c).
-		do := make([]float64, h)
-		dc := mat.CloneVec(dcNext)
+		// Through h = o * tanh(c); the output-gate delta lands directly in
+		// its dz quarter.
+		dz := s.dz
+		dc := s.dc
+		copy(dc, dcNext)
 		for j := 0; j < h; j++ {
-			do[j] = dh[j] * sc.tanhC[j] * sc.o[j] * (1 - sc.o[j])
+			dz[3*h+j] = dh[j] * sc.tanhC[j] * sc.o[j] * (1 - sc.o[j])
 			dc[j] += dh[j] * sc.o[j] * (1 - sc.tanhC[j]*sc.tanhC[j])
 		}
 
-		// Through c = f*cPrev + i*g.
-		di := make([]float64, h)
-		df := make([]float64, h)
-		dg := make([]float64, h)
+		// Through c = f*cPrev + i*g, filling the input/forget/cell quarters.
 		for j := 0; j < h; j++ {
-			di[j] = dc[j] * sc.g[j] * sc.i[j] * (1 - sc.i[j])
-			df[j] = dc[j] * sc.cPrev[j] * sc.f[j] * (1 - sc.f[j])
-			dg[j] = dc[j] * sc.i[j] * (1 - sc.g[j]*sc.g[j])
+			dz[j] = dc[j] * sc.g[j] * sc.i[j] * (1 - sc.i[j])
+			dz[h+j] = dc[j] * sc.cPrev[j] * sc.f[j] * (1 - sc.f[j])
+			dz[2*h+j] = dc[j] * sc.i[j] * (1 - sc.g[j]*sc.g[j])
 			dcNext[j] = dc[j] * sc.f[j]
 		}
-
-		// Stack gate deltas and push through the affine transform.
-		dz := make([]float64, 4*h)
-		copy(dz[0:h], di)
-		copy(dz[h:2*h], df)
-		copy(dz[2*h:3*h], dg)
-		copy(dz[3*h:], do)
 
 		g.wx.AddOuter(dz, sc.x)
 		g.wh.AddOuter(dz, sc.hPrev)
 		mat.AddVec(g.b, dz)
-		dhNext = mat.MulVecT(n.wh, dz)
+		mat.MulVecTInto(dhNext, n.wh, dz)
 	}
-	return loss, counted
+	return loss, counted, correct
 }
 
 // TrainResult reports one epoch of training.
@@ -308,8 +399,27 @@ type TrainResult struct {
 	Accuracy float64 // masked training accuracy
 }
 
-// Train runs the given number of epochs of per-sequence Adam updates over
-// the training set (shuffled each epoch) and returns per-epoch stats.
+// trainSlot is one minibatch position's private training state: its own
+// gradient accumulator and scratch, so pool workers never share buffers.
+type trainSlot struct {
+	g                *grads
+	s                *scratch
+	loss             float64
+	counted, correct int
+}
+
+// Train runs the given number of epochs of minibatch Adam updates over the
+// training set (shuffled each epoch) and returns per-epoch stats. With the
+// default Batch of 1 every sequence gets its own update — the historical
+// per-sequence schedule, bit for bit. Larger batches accumulate the batch
+// members' gradients before one shared Adam step. Per-sequence gradients
+// are computed on Config.Workers goroutines and reduced in fixed index
+// order, so the trained network is byte-identical for every worker count.
+//
+// The reported stats are the masked accuracy and loss of the forward passes
+// backward performs anyway — predictions under the weights in effect when
+// each minibatch was visited — so monitoring costs no second pass over the
+// training set.
 func (n *Network) Train(seqs []Sequence, epochs int) ([]TrainResult, error) {
 	if len(seqs) == 0 {
 		return nil, errors.New("lstm: no training sequences")
@@ -323,6 +433,24 @@ func (n *Network) Train(seqs []Sequence, epochs int) ([]TrainResult, error) {
 		}
 	}
 
+	batch := n.cfg.Batch
+	if batch > len(seqs) {
+		batch = len(seqs)
+	}
+	workers := par.Workers(n.cfg.Workers)
+	if workers > batch {
+		workers = batch
+	}
+	slots := make([]*trainSlot, batch)
+	partials := make([]*grads, batch)
+	for i := range slots {
+		slots[i] = &trainSlot{g: n.newGrads(), s: n.newScratch()}
+		partials[i] = slots[i].g
+	}
+	// total is the fixed-order reduction target (unused at Batch 1, where
+	// the single slot's gradient is consumed directly).
+	total := n.newGrads()
+
 	order := make([]int, len(seqs))
 	for i := range order {
 		order[i] = i
@@ -333,15 +461,37 @@ func (n *Network) Train(seqs []Sequence, epochs int) ([]TrainResult, error) {
 		n.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 
 		var totalLoss float64
-		var totalCounted, correct int
-		for _, idx := range order {
-			seq := seqs[idx]
-			g := n.newGrads()
-			loss, counted := n.backward(seq, g)
-			if counted == 0 {
+		var totalCounted, totalCorrect int
+		for start := 0; start < len(order); start += batch {
+			bs := batch
+			if rest := len(order) - start; bs > rest {
+				bs = rest
+			}
+			if err := par.Do(workers, bs, func(i int) error {
+				slot := slots[i]
+				slot.g.zero()
+				slot.loss, slot.counted, slot.correct = n.backward(seqs[order[start+i]], slot.g, slot.s)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+
+			batchCounted := 0
+			for i := 0; i < bs; i++ {
+				totalLoss += slots[i].loss
+				totalCorrect += slots[i].correct
+				batchCounted += slots[i].counted
+			}
+			totalCounted += batchCounted
+			if batchCounted == 0 {
 				continue
 			}
-			scale := 1 / float64(counted)
+			g := slots[0].g
+			if bs > 1 {
+				reduceGrads(total, partials[:bs])
+				g = total
+			}
+			scale := 1 / float64(batchCounted)
 			g.wx.Scale(scale)
 			g.wh.Scale(scale)
 			g.wy.Scale(scale)
@@ -349,30 +499,12 @@ func (n *Network) Train(seqs []Sequence, epochs int) ([]TrainResult, error) {
 			mat.ScaleVec(g.by, scale)
 			n.clip(g)
 			n.adam.step(n, g)
-
-			totalLoss += loss
-			totalCounted += counted
 		}
 
-		// Masked training accuracy for monitoring.
-		for _, seq := range seqs {
-			pred, err := n.Predict(seq.Inputs)
-			if err != nil {
-				return nil, err
-			}
-			for t := range pred {
-				if seq.Mask != nil && !seq.Mask[t] {
-					continue
-				}
-				if pred[t] == seq.Labels[t] {
-					correct++
-				}
-			}
-		}
 		res := TrainResult{Epoch: epoch}
 		if totalCounted > 0 {
 			res.AvgLoss = totalLoss / float64(totalCounted)
-			res.Accuracy = float64(correct) / float64(totalCounted)
+			res.Accuracy = float64(totalCorrect) / float64(totalCounted)
 		}
 		results = append(results, res)
 	}
@@ -395,5 +527,11 @@ func clipVec(v []float64, lim float64) {
 		} else if x < -lim {
 			v[i] = -lim
 		}
+	}
+}
+
+func zeroVec(v []float64) {
+	for i := range v {
+		v[i] = 0
 	}
 }

@@ -79,11 +79,11 @@ func TestGradientCheck(t *testing.T) {
 
 	lossOf := func() float64 {
 		g := n.newGrads()
-		loss, _ := n.backward(seq, g)
+		loss, _, _ := n.backward(seq, g, n.newScratch())
 		return loss
 	}
 	analytic := n.newGrads()
-	n.backward(seq, analytic)
+	n.backward(seq, analytic, n.newScratch())
 
 	const eps = 1e-5
 	check := func(name string, param []float64, grad []float64) {
@@ -115,7 +115,7 @@ func TestClassWeightsScaleLoss(t *testing.T) {
 			t.Fatal(err)
 		}
 		g := n.newGrads()
-		loss, _ := n.backward(Sequence{Inputs: [][]float64{{1}}, Labels: []int{1}}, g)
+		loss, _, _ := n.backward(Sequence{Inputs: [][]float64{{1}}, Labels: []int{1}}, g, n.newScratch())
 		return loss
 	}
 	plain := mk(nil)

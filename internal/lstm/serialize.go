@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math/rand"
 
 	"leakydnn/internal/mat"
 )
@@ -30,32 +31,42 @@ func (n *Network) Save(w io.Writer) error {
 		B:   n.b,
 		By:  n.by,
 	}
+	// Workers is an execution knob, not a model property: dropping it keeps
+	// the encoding byte-identical across worker-pool settings.
+	snap.Cfg.Workers = 0
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("lstm: save: %w", err)
 	}
 	return nil
 }
 
-// Load reads a network previously written by Save.
+// Load reads a network previously written by Save. The network is built
+// directly from the snapshot — no Xavier initialization is drawn only to be
+// overwritten, so loading burns no RNG state and allocates no throwaway
+// weight matrices.
 func Load(r io.Reader) (*Network, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("lstm: load: %w", err)
 	}
-	n, err := New(snap.Cfg)
-	if err != nil {
-		return nil, err
+	cfg := snap.Cfg
+	if err := cfg.defaults(); err != nil {
+		return nil, fmt.Errorf("lstm: load: %w", err)
 	}
-	h, in, c := snap.Cfg.Hidden, snap.Cfg.InputDim, snap.Cfg.Classes
+	h, in, c := cfg.Hidden, cfg.InputDim, cfg.Classes
 	if len(snap.Wx) != 4*h*in || len(snap.Wh) != 4*h*h || len(snap.Wy) != c*h ||
 		len(snap.B) != 4*h || len(snap.By) != c {
 		return nil, fmt.Errorf("lstm: load: parameter sizes inconsistent with config")
 	}
-	n.wx = mat.FromSlice(4*h, in, snap.Wx)
-	n.wh = mat.FromSlice(4*h, h, snap.Wh)
-	n.wy = mat.FromSlice(c, h, snap.Wy)
-	n.b = snap.B
-	n.by = snap.By
+	n := &Network{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		wx:  mat.FromSlice(4*h, in, snap.Wx),
+		wh:  mat.FromSlice(4*h, h, snap.Wh),
+		wy:  mat.FromSlice(c, h, snap.Wy),
+		b:   snap.B,
+		by:  snap.By,
+	}
 	n.adam = newAdamState(n)
 	return n, nil
 }

@@ -133,20 +133,63 @@ func MulVec(a *Matrix, x []float64) []float64 {
 
 // MulVecT computes aᵀ*x for a column vector x (len(x) == a.Rows).
 func MulVecT(a *Matrix, x []float64) []float64 {
-	if a.Rows != len(x) {
-		panic(fmt.Sprintf("mat: mulvecT shape mismatch %dx%dᵀ * %d", a.Rows, a.Cols, len(x)))
-	}
 	out := make([]float64, a.Cols)
+	MulVecTInto(out, a, x)
+	return out
+}
+
+// MulVecInto computes dst = a*x without allocating (len(dst) == a.Rows).
+// Each row's products are accumulated in column order, so the result is
+// bit-identical to MulVec.
+func MulVecInto(dst []float64, a *Matrix, x []float64) {
+	if a.Cols != len(x) || a.Rows != len(dst) {
+		panic(fmt.Sprintf("mat: mulvecinto shape mismatch %d = %dx%d * %d", len(dst), a.Rows, a.Cols, len(x)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		var sum float64
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		dst[i] = sum
+	}
+}
+
+// MulVecAccum computes dst += a*x without allocating. Each row's product is
+// summed before being added to dst, so the result is bit-identical to
+// AddVec(dst, MulVec(a, x)).
+func MulVecAccum(dst []float64, a *Matrix, x []float64) {
+	if a.Cols != len(x) || a.Rows != len(dst) {
+		panic(fmt.Sprintf("mat: mulvecaccum shape mismatch %d += %dx%d * %d", len(dst), a.Rows, a.Cols, len(x)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		var sum float64
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		dst[i] += sum
+	}
+}
+
+// MulVecTInto computes dst = aᵀ*x without allocating (len(dst) == a.Cols),
+// with the same accumulation order as MulVecT.
+func MulVecTInto(dst []float64, a *Matrix, x []float64) {
+	if a.Rows != len(x) || a.Cols != len(dst) {
+		panic(fmt.Sprintf("mat: mulvecTinto shape mismatch %d = %dx%dᵀ * %d", len(dst), a.Rows, a.Cols, len(x)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i, xv := range x {
 		if xv == 0 {
 			continue
 		}
 		row := a.Data[i*a.Cols : (i+1)*a.Cols]
 		for j, v := range row {
-			out[j] += v * xv
+			dst[j] += v * xv
 		}
 	}
-	return out
 }
 
 // AddOuter accumulates the outer product x*yᵀ into m (m += x yᵀ).

@@ -264,3 +264,100 @@ func BenchmarkMul64(b *testing.B) {
 		Mul(m, n)
 	}
 }
+
+// The Into/Accum kernels must be bit-identical to their allocating
+// counterparts: training determinism depends on the substitution being
+// invisible at the FP level, not just approximately equal.
+func TestIntoKernelsMatchAllocatingVersions(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := Randn(5, 7, 1, rng)
+	x := make([]float64, 7)
+	xt := make([]float64, 5)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range xt {
+		xt[i] = rng.NormFloat64()
+	}
+	xt[2] = 0 // exercise MulVecTInto's zero-skip path
+
+	want := MulVec(a, x)
+	got := make([]float64, 5)
+	for i := range got {
+		got[i] = rng.NormFloat64() // stale content must be overwritten
+	}
+	MulVecInto(got, a, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVecInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	base := make([]float64, 5)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+	}
+	wantAcc := CloneVec(base)
+	AddVec(wantAcc, MulVec(a, x))
+	gotAcc := CloneVec(base)
+	MulVecAccum(gotAcc, a, x)
+	for i := range wantAcc {
+		if gotAcc[i] != wantAcc[i] {
+			t.Fatalf("MulVecAccum[%d] = %v, want %v", i, gotAcc[i], wantAcc[i])
+		}
+	}
+
+	wantT := MulVecT(a, xt)
+	gotT := make([]float64, 7)
+	for i := range gotT {
+		gotT[i] = rng.NormFloat64()
+	}
+	MulVecTInto(gotT, a, xt)
+	for i := range wantT {
+		if gotT[i] != wantT[i] {
+			t.Fatalf("MulVecTInto[%d] = %v, want %v", i, gotT[i], wantT[i])
+		}
+	}
+}
+
+func TestSoftmaxIntoMatchesSoftmaxAndAliases(t *testing.T) {
+	logits := []float64{3, -2, 0.5, 700, -700}
+	want := Softmax(logits)
+	dst := make([]float64, len(logits))
+	SoftmaxInto(dst, logits)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("SoftmaxInto[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	// Aliased: dst and logits are the same slice.
+	buf := CloneVec(logits)
+	SoftmaxInto(buf, buf)
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("aliased SoftmaxInto[%d] = %v, want %v", i, buf[i], want[i])
+		}
+	}
+	SoftmaxInto(nil, nil) // empty input must be a no-op, not a panic
+}
+
+func TestIntoKernelsPanicOnShapeMismatch(t *testing.T) {
+	a := New(2, 3)
+	for name, fn := range map[string]func(){
+		"MulVecInto dst":   func() { MulVecInto(make([]float64, 3), a, make([]float64, 3)) },
+		"MulVecInto x":     func() { MulVecInto(make([]float64, 2), a, make([]float64, 2)) },
+		"MulVecAccum dst":  func() { MulVecAccum(make([]float64, 3), a, make([]float64, 3)) },
+		"MulVecTInto dst":  func() { MulVecTInto(make([]float64, 2), a, make([]float64, 2)) },
+		"MulVecTInto x":    func() { MulVecTInto(make([]float64, 3), a, make([]float64, 3)) },
+		"SoftmaxInto dims": func() { SoftmaxInto(make([]float64, 2), make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: shape mismatch not rejected", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

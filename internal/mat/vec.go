@@ -57,8 +57,16 @@ func Dot(a, b []float64) float64 {
 // numerically stable way (shift by the max logit).
 func Softmax(logits []float64) []float64 {
 	out := make([]float64, len(logits))
+	SoftmaxInto(out, logits)
+	return out
+}
+
+// SoftmaxInto computes the softmax of logits into dst without allocating,
+// bit-identical to Softmax. dst and logits may alias.
+func SoftmaxInto(dst, logits []float64) {
+	checkVecLen(dst, logits, "softmaxinto")
 	if len(logits) == 0 {
-		return out
+		return
 	}
 	max := logits[0]
 	for _, v := range logits[1:] {
@@ -69,13 +77,12 @@ func Softmax(logits []float64) []float64 {
 	var sum float64
 	for i, v := range logits {
 		e := math.Exp(v - max)
-		out[i] = e
+		dst[i] = e
 		sum += e
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
 }
 
 // ArgMax returns the index of the largest element of v (-1 for empty v).

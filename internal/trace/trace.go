@@ -7,6 +7,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 
 	"leakydnn/internal/cupti"
 	"leakydnn/internal/dnn"
@@ -64,6 +65,12 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 	if cfg.Spy.Ctx == 0 {
 		cfg.Spy.Ctx = SpyCtx
 	}
+	// Validate the iteration count before building any simulator state: the
+	// session would reject it too, but the loop bounds and the derived horizon
+	// below both multiply by it, so fail with the trace-level story up front.
+	if cfg.Session.Iterations <= 0 {
+		return nil, fmt.Errorf("trace: Session.Iterations must be >= 1, got %d", cfg.Session.Iterations)
+	}
 	sess, err := tfsim.NewSession(m, cfg.Session, cfg.Device)
 	if err != nil {
 		return nil, err
@@ -119,9 +126,25 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 
 	horizon := cfg.Horizon
 	if horizon == 0 {
-		// Generous bound: 100x the exclusive-device time plus gaps.
+		// Generous bound: 100x the exclusive-device time plus gaps. The
+		// product can overflow int64 nanoseconds on absurd-but-representable
+		// configurations (huge IterGap or iteration counts); a wrapped horizon
+		// would silently truncate or never terminate the run, so refuse it.
 		per := sess.IterationDuration() + cfg.Session.IterGap
-		horizon = 100*per*gpu.Nanos(cfg.Session.Iterations) + gpu.Second
+		iters := gpu.Nanos(cfg.Session.Iterations)
+		if per < 0 {
+			return nil, fmt.Errorf("trace: iteration duration %v plus gap %v overflows; set RunConfig.Horizon explicitly",
+				sess.IterationDuration(), cfg.Session.IterGap)
+		}
+		if iters > (math.MaxInt64-gpu.Second)/100 {
+			return nil, fmt.Errorf("trace: derived horizon for %d iterations overflows int64 nanoseconds; set RunConfig.Horizon explicitly",
+				cfg.Session.Iterations)
+		}
+		if maxPer := (math.MaxInt64 - gpu.Second) / (100 * iters); per > maxPer {
+			return nil, fmt.Errorf("trace: derived horizon 100*%v*%d overflows int64 nanoseconds; set RunConfig.Horizon explicitly",
+				per, cfg.Session.Iterations)
+		}
+		horizon = 100*per*iters + gpu.Second
 	}
 	step := sess.IterationDuration()/4 + gpu.Millisecond
 	for victimDone < totalOps && eng.Now() < horizon {

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"leakydnn/internal/dnn"
@@ -167,5 +169,54 @@ func TestNOPWindowsReadHigherThanBusyWindows(t *testing.T) {
 	nopAvg, busyAvg := nopSum/float64(nopN), busySum/float64(busyN)
 	if nopAvg <= busyAvg*1.5 {
 		t.Fatalf("NOP windows not distinguishable: nop avg %.0f vs busy avg %.0f", nopAvg, busyAvg)
+	}
+}
+
+// Collect must reject a non-positive iteration count up front with the
+// trace-level story, not fail deep inside session construction or loop
+// forever on a zero op budget.
+func TestCollectValidatesIterations(t *testing.T) {
+	for _, iters := range []int{0, -3} {
+		cfg := fastRun(1, iters, false)
+		if _, err := Collect(zoo.TinyCNN(), cfg); err == nil {
+			t.Errorf("Iterations=%d accepted", iters)
+		} else if !strings.Contains(err.Error(), "Iterations") {
+			t.Errorf("Iterations=%d: error %q does not name the field", iters, err)
+		}
+	}
+}
+
+// The derived safety horizon multiplies per-iteration time by 100x the
+// iteration count; configurations whose product wraps int64 must be refused
+// with a pointer at RunConfig.Horizon, not silently truncated.
+func TestCollectRejectsOverflowingHorizon(t *testing.T) {
+	cfg := fastRun(1, 2, false)
+	cfg.Session.IterGap = gpu.Nanos(math.MaxInt64 / 64)
+	_, err := Collect(zoo.TinyCNN(), cfg)
+	if err == nil {
+		t.Fatal("overflowing derived horizon accepted")
+	}
+	if !strings.Contains(err.Error(), "overflow") || !strings.Contains(err.Error(), "Horizon") {
+		t.Fatalf("error %q should mention the overflow and RunConfig.Horizon", err)
+	}
+
+	// An explicit horizon sidesteps the derivation entirely; the same config
+	// must then fail only because the victim cannot finish in time.
+	cfg.Horizon = gpu.Second
+	if _, err := Collect(zoo.TinyCNN(), cfg); err == nil {
+		t.Fatal("expected horizon-exhaustion error")
+	} else if strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("explicit horizon still hit the overflow guard: %v", err)
+	}
+}
+
+// A huge iteration count alone must also trip the guard (100*iters wraps
+// before the per-iteration duration even enters the product).
+func TestCollectRejectsOverflowingIterationCount(t *testing.T) {
+	cfg := fastRun(1, int(math.MaxInt64/8), false)
+	if _, err := Collect(zoo.TinyCNN(), cfg); err == nil {
+		t.Fatal("overflowing iteration count accepted")
+	} else if !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("error %q should mention the overflow", err)
 	}
 }
