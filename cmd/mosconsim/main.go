@@ -11,6 +11,7 @@ import (
 	"runtime"
 
 	"leakydnn/internal/attack"
+	"leakydnn/internal/chaos"
 	"leakydnn/internal/dnn"
 	"leakydnn/internal/eval"
 	"leakydnn/internal/trace"
@@ -35,6 +36,13 @@ func run() error {
 			"trace-collection and training worker-pool size (results are identical for any value; 1 runs serially)")
 		batch = flag.Int("batch", 0,
 			"LSTM minibatch size: sequences per optimizer step (0 = 1, the per-sequence schedule)")
+		chaosIntensity = flag.Float64("chaos", 0,
+			"measurement-fault intensity in [0,1]: applies the canonical chaos.At blend to the victim co-runs (0 = clean)")
+		chaosDrop     = flag.Float64("chaos-drop", 0, "override: per-sample CUPTI drop rate")
+		chaosJitter   = flag.Float64("chaos-jitter", 0, "override: counter jitter fraction")
+		chaosTruncate = flag.Float64("chaos-truncate", 0, "override: trailing trace fraction discarded")
+		chaosArmFail  = flag.Float64("chaos-armfail", 0, "override: spy channel arming failure rate")
+		chaosSeed     = flag.Int64("chaos-seed", 0, "fault-stream seed (0 = derive from -seed)")
 	)
 	flag.Parse()
 
@@ -45,6 +53,29 @@ func run() error {
 	sc.Seed = *seed
 	sc.Workers = *workers
 	sc.Attack.Batch = *batch
+
+	// Faults hit only the victim co-runs: the adversary profiles and trains
+	// on their own clean hardware, so sc.Chaos stays zero during the
+	// workbench build and the tested traces are re-collected under the plan.
+	plan := chaos.At(*chaosIntensity)
+	if *chaosDrop > 0 {
+		plan.DropRate = *chaosDrop
+	}
+	if *chaosJitter > 0 {
+		plan.JitterFrac = *chaosJitter
+	}
+	if *chaosTruncate > 0 {
+		plan.TruncateFrac = *chaosTruncate
+	}
+	if *chaosArmFail > 0 {
+		plan.ArmFailRate = *chaosArmFail
+	}
+	if !plan.IsZero() {
+		plan.Seed = *chaosSeed
+		if err := plan.Validate(); err != nil {
+			return err
+		}
+	}
 
 	fmt.Printf("== MoSConS end-to-end (%s scale) ==\n", sc.Name)
 
@@ -61,10 +92,6 @@ func run() error {
 			return err
 		}
 		fmt.Printf("loaded trained models from %s\n", *loadFile)
-		tested, err = sc.CollectTraces(sc.Tested, sc.Seed+900)
-		if err != nil {
-			return err
-		}
 	} else {
 		fmt.Println("collecting profiling traces and training inference models ...")
 		w, err := eval.NewWorkbench(sc)
@@ -73,6 +100,17 @@ func run() error {
 		}
 		models = w.Models
 		tested = w.Tested
+	}
+	if tested == nil || !plan.IsZero() {
+		scVictim := sc
+		scVictim.Chaos = plan
+		if !plan.IsZero() {
+			fmt.Printf("re-collecting victim traces under fault plan (intensity %.2f blend)\n", *chaosIntensity)
+		}
+		tested, err = scVictim.CollectTraces(scVictim.Tested, scVictim.Seed+900)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("training report: %v\n\n", models.Report)
 
@@ -108,14 +146,28 @@ func run() error {
 
 func attackOne(models *attack.Models, tr *trace.Trace, verbose bool) error {
 	fmt.Printf("---- victim %s (%d samples) ----\n", tr.Model.Name, len(tr.Samples))
+	if tr.Health != nil {
+		fmt.Printf("trace health: %s\n", tr.Health.Summary())
+	}
 	rec, err := models.Extract(tr.Samples)
 	if err != nil {
-		return err
+		// A trace can be too damaged to attack; report and move on rather
+		// than abort the remaining victims.
+		fmt.Printf("extraction failed: %v\n\n", err)
+		return nil
 	}
 	if verbose {
 		fmt.Printf("letters: %s\n", rec.Letters)
 	}
-	fmt.Printf("iterations: %d detected, %d clean\n", len(rec.Split.All), len(rec.Split.Valid))
+	fmt.Printf("iterations: %d detected, %d clean", len(rec.Split.All), len(rec.Split.Valid))
+	if n := rec.Coverage.QuarantinedShort + rec.Coverage.QuarantinedLong; n > 0 {
+		fmt.Printf(" (%d quarantined: %d short, %d long)",
+			n, rec.Coverage.QuarantinedShort, rec.Coverage.QuarantinedLong)
+	}
+	if rec.Coverage.UsedFallback {
+		fmt.Printf(" [fallback: voting over unfiltered segments]")
+	}
+	fmt.Println()
 	fmt.Printf("op sequence: %s\n", rec.OpSeq)
 	fmt.Printf("optimizer:   %v (true %v)\n", rec.Optimizer, tr.Model.Optimizer)
 	fmt.Println("layers:")

@@ -19,6 +19,7 @@ var experiments = []string{
 	"table1", "table2", "fig2", "fig3", "table6", "gapsweep",
 	"table7", "table8", "table9", "slowdown", "sweep", "defense",
 	"baseline", "shortcut", "rnn", "multitenant", "ablations",
+	"robustness",
 }
 
 func main() {
@@ -198,6 +199,16 @@ func run() error {
 				return err
 			}
 			res, err := wb.EvaluateDefenses(2000, 1.0)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		case "robustness":
+			wb, err := bench()
+			if err != nil {
+				return err
+			}
+			res, err := wb.Robustness([]float64{0, 0.2, 0.4, 0.6, 0.8, 1.0})
 			if err != nil {
 				return err
 			}

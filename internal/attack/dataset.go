@@ -160,6 +160,16 @@ type labelledTrace struct {
 // the concurrently running victim op.
 func Featurize(s cupti.Sample) []float64 {
 	raw := s.Vector()
+	// Counter values from damaged or hand-built traces can be negative or
+	// non-finite; either would turn Log1p into NaN and silently poison every
+	// model downstream. Clamp to the representable range instead.
+	for i, x := range raw {
+		if math.IsNaN(x) || x < 0 {
+			raw[i] = 0
+		} else if math.IsInf(x, 1) {
+			raw[i] = math.MaxFloat64
+		}
+	}
 	tex := raw[0] + raw[1]
 	fbRead := raw[2] + raw[3]
 	fbWrite := raw[4] + raw[5]

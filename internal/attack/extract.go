@@ -10,11 +10,33 @@ import (
 	"leakydnn/internal/trace"
 )
 
+// Coverage reports how much of the victim's sample stream an extraction was
+// actually able to use, so a recovery from a damaged trace is honest about
+// being partial: SegmentsValid + QuarantinedShort + QuarantinedLong ==
+// SegmentsDetected, and UsedFallback flags runs where the length filter
+// rejected every segment and the pipeline voted over unfiltered ones.
+type Coverage struct {
+	// Samples is the input stream length.
+	Samples int
+	// SegmentsDetected is every busy segment Mgap found; SegmentsValid is the
+	// subset that survived the iteration length filter.
+	SegmentsDetected int
+	SegmentsValid    int
+	// QuarantinedShort/QuarantinedLong mirror SplitResult's counters.
+	QuarantinedShort int
+	QuarantinedLong  int
+	// UsedFallback is set when no segment passed the filter and the voting
+	// stage fell back to the unfiltered segments.
+	UsedFallback bool
+}
+
 // Recovery is the full output of a MoSConS extraction run against a victim's
 // sample stream.
 type Recovery struct {
 	// Split is the Mgap stage's outcome.
 	Split *SplitResult
+	// Coverage reconciles what the pipeline used against what it was given.
+	Coverage Coverage
 	// Used are the iterations fed to the voting models; Base is Used[0], the
 	// timeline every voted prediction refers to.
 	Used []Range
@@ -55,6 +77,16 @@ func (m *Models) Extract(samples []cupti.Sample) (*Recovery, error) {
 	if len(samples) == 0 {
 		return nil, errors.New("attack: no samples to extract from")
 	}
+	// A half-trained model set must fail with a story, not a nil-pointer
+	// panic three stages in: every model the unconditional pipeline stages
+	// need is checked up front (SplitIterations re-checks Gap for callers
+	// that enter there).
+	if m.Scaler == nil {
+		return nil, errors.New("attack: feature scaler not fitted (models untrained?)")
+	}
+	if m.Long == nil || m.Op == nil {
+		return nil, errors.New("attack: Mlong/Mop not trained")
+	}
 	features := make([][]float64, len(samples))
 	for i, s := range samples {
 		features[i] = m.Scaler.Transform(Featurize(s))
@@ -65,13 +97,22 @@ func (m *Models) Extract(samples []cupti.Sample) (*Recovery, error) {
 		return nil, err
 	}
 	iters := split.Valid
+	fallback := false
 	if len(iters) == 0 {
 		iters = split.All
+		fallback = len(iters) > 0
 	}
 	if len(iters) == 0 {
 		return nil, errors.New("attack: no iterations detected in sample stream")
 	}
-	rec := &Recovery{Split: split}
+	rec := &Recovery{Split: split, Coverage: Coverage{
+		Samples:          len(samples),
+		SegmentsDetected: len(split.All),
+		SegmentsValid:    len(split.Valid),
+		QuarantinedShort: split.QuarantinedShort,
+		QuarantinedLong:  split.QuarantinedLong,
+		UsedFallback:     fallback,
+	}}
 
 	n := m.Cfg.VoteIterations
 	for j := 0; j < n; j++ {

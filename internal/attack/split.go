@@ -15,6 +15,12 @@ type SplitResult struct {
 	// [RMin, RMax] of the average — the "clean" iterations usable for voting
 	// (§IV-A's removal of incomplete iterations).
 	Valid []Range
+	// QuarantinedShort and QuarantinedLong count the segments the length
+	// filter rejected on each side: short segments are typically truncated or
+	// gap-shredded iterations, long ones are iterations merged across a missed
+	// NOP gap. Valid + QuarantinedShort + QuarantinedLong == All always holds.
+	QuarantinedShort int
+	QuarantinedLong  int
 }
 
 // SplitIterations runs Mgap over the scaled features, splits the sample
@@ -74,7 +80,12 @@ func (m *Models) SplitIterations(features [][]float64) (*SplitResult, error) {
 	ref := float64(lengths[len(lengths)/2])
 	for _, r := range res.All {
 		n := float64(r.End - r.Start)
-		if n >= m.Cfg.RMin*ref && n <= m.Cfg.RMax*ref {
+		switch {
+		case n < m.Cfg.RMin*ref:
+			res.QuarantinedShort++
+		case n > m.Cfg.RMax*ref:
+			res.QuarantinedLong++
+		default:
 			res.Valid = append(res.Valid, r)
 		}
 	}

@@ -1,0 +1,250 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"leakydnn/internal/cupti"
+	"leakydnn/internal/gpu"
+)
+
+func synthSamples(n int) []cupti.Sample {
+	out := make([]cupti.Sample, n)
+	period := gpu.Nanos(1000)
+	for i := range out {
+		out[i].Start = gpu.Nanos(i) * period
+		out[i].End = out[i].Start + period
+		for e := range out[i].Values {
+			out[i].Values[e] = float64(100 + i*7 + e)
+		}
+	}
+	return out
+}
+
+func TestZeroPlanIsZero(t *testing.T) {
+	if !(Plan{}).IsZero() {
+		t.Fatal("zero plan not IsZero")
+	}
+	if At(0).IsZero() != true {
+		t.Fatal("At(0) must be the zero plan")
+	}
+	if At(0.5).IsZero() {
+		t.Fatal("At(0.5) must inject")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{DropRate: -0.1},
+		{DropRate: 1.5},
+		{ArmFailRate: 0.99},
+		{ArmMaxRetries: -1},
+		{PreemptGapLen: -2},
+		{TruncateFrac: 2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d (%+v) accepted", i, p)
+		}
+	}
+	for _, x := range []float64{0, 0.25, 0.5, 1} {
+		if err := At(x).Validate(); err != nil {
+			t.Errorf("At(%v) invalid: %v", x, err)
+		}
+	}
+}
+
+// The injector must be deterministic: same plan, same seed, same input —
+// byte-identical output and identical stats.
+func TestInjectorDeterministic(t *testing.T) {
+	run := func() ([]cupti.Sample, Stats) {
+		in, err := NewInjector(At(0.7), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			in.ArmChannel(i == 0)
+		}
+		out := in.Apply(synthSamples(400))
+		return out, in.Stats()
+	}
+	a, sa := run()
+	b, sb := run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("faulted streams differ between identical runs")
+	}
+	if sa != sb {
+		t.Fatalf("stats differ: %+v vs %+v", sa, sb)
+	}
+}
+
+// Accounting identity: delivered + dropped-for-any-cause - duplicated must
+// equal the clean count.
+func TestApplyAccounting(t *testing.T) {
+	const n = 1000
+	in, err := NewInjector(Plan{
+		DropRate:       0.2,
+		DupRate:        0.1,
+		PreemptGapRate: 0.02,
+		PreemptGapLen:  4,
+		TruncateFrac:   0.1,
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := in.Apply(synthSamples(n))
+	st := in.Stats()
+	lost := st.Truncated + st.GapSamplesLost + st.Dropped
+	if got := len(out) - st.Duplicated + lost; got != n {
+		t.Fatalf("accounting broken: delivered=%d dup=%d lost=%d, reconstructs %d of %d",
+			len(out), st.Duplicated, lost, got, n)
+	}
+	if st.PreemptionGaps == 0 || st.Dropped == 0 || st.Truncated == 0 {
+		t.Fatalf("expected every configured fault class to fire: %+v", st)
+	}
+}
+
+// The caller's sample slice must never be mutated.
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	orig := synthSamples(50)
+	ref := make([]cupti.Sample, len(orig))
+	copy(ref, orig)
+	in, err := NewInjector(At(1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Apply(orig)
+	if !reflect.DeepEqual(orig, ref) {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+func TestJitterIsBounded(t *testing.T) {
+	in, err := NewInjector(Plan{JitterFrac: 0.3}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := synthSamples(200)
+	out := in.Apply(clean)
+	if len(out) != len(clean) {
+		t.Fatalf("jitter-only plan changed sample count: %d vs %d", len(out), len(clean))
+	}
+	for i := range out {
+		for e := range out[i].Values {
+			lo := clean[i].Values[e] * 0.7
+			hi := clean[i].Values[e] * 1.3
+			if v := out[i].Values[e]; v < lo-1e-9 || v > hi+1e-9 {
+				t.Fatalf("sample %d event %d jittered out of bounds: %v not in [%v, %v]", i, e, v, lo, hi)
+			}
+		}
+	}
+}
+
+func TestSaturationClips(t *testing.T) {
+	in, err := NewInjector(Plan{SaturateFrac: 0.5}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := synthSamples(100)
+	out := in.Apply(clean)
+	var maxClean, maxOut float64
+	for i := range clean {
+		if v := clean[i].Values[0]; v > maxClean {
+			maxClean = v
+		}
+		if v := out[i].Values[0]; v > maxOut {
+			maxOut = v
+		}
+	}
+	want := maxClean * 0.5
+	if maxOut > want+1e-9 {
+		t.Fatalf("saturation cap not enforced: max %v, cap %v", maxOut, want)
+	}
+	if in.Stats().Saturated == 0 {
+		t.Fatal("no samples counted as saturated")
+	}
+}
+
+func TestClockSkewPreservesOrderAndOrigin(t *testing.T) {
+	in, err := NewInjector(Plan{ClockSkewFrac: 0.1}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := synthSamples(50)
+	out := in.Apply(clean)
+	if out[0].Start != clean[0].Start {
+		t.Fatalf("skew moved the trace origin: %v vs %v", out[0].Start, clean[0].Start)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Start < out[i-1].Start {
+			t.Fatalf("skew reordered samples at %d", i)
+		}
+	}
+	last := len(out) - 1
+	if out[last].End <= clean[last].End {
+		t.Fatal("positive skew must stretch late timestamps")
+	}
+}
+
+// Mandatory channels retry far past the optional budget; optional channels
+// give up after ArmMaxRetries and are counted as failures.
+func TestArmChannelBudgets(t *testing.T) {
+	in, err := NewInjector(Plan{ArmFailRate: 0.9, ArmMaxRetries: 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var optFail, optOK int
+	for i := 0; i < 200; i++ {
+		if retries, ok := in.ArmChannel(false); ok {
+			optOK++
+			if retries > 2 {
+				t.Fatalf("optional channel used %d retries, budget 2", retries)
+			}
+		} else {
+			optFail++
+		}
+	}
+	if optFail == 0 || optOK == 0 {
+		t.Fatalf("expected a mix of failures and successes at rate 0.9: ok=%d fail=%d", optOK, optFail)
+	}
+	st := in.Stats()
+	if st.ArmFailures != optFail {
+		t.Fatalf("ArmFailures=%d, observed %d", st.ArmFailures, optFail)
+	}
+	var mandatoryFails int
+	for i := 0; i < 50; i++ {
+		if _, ok := in.ArmChannel(true); !ok {
+			mandatoryFails++
+		}
+	}
+	// 0.9^65 ≈ 1e-3: mandatory arming should essentially always succeed.
+	if mandatoryFails > 2 {
+		t.Fatalf("mandatory arming failed %d/50 times despite 64-retry budget", mandatoryFails)
+	}
+}
+
+func TestBackoffDelayCapped(t *testing.T) {
+	base := gpu.Nanos(100)
+	if d := BackoffDelay(0, base); d != 0 {
+		t.Fatalf("no retries must mean no delay, got %v", d)
+	}
+	if d := BackoffDelay(1, base); d != 100 {
+		t.Fatalf("one retry = base, got %v", d)
+	}
+	// 100+200+400+800+800+800: the per-step delay caps at 8*base.
+	if d := BackoffDelay(6, base); d != 3100 {
+		t.Fatalf("capped exponential sum wrong: got %v, want 3100", d)
+	}
+}
+
+func TestAtRampMonotone(t *testing.T) {
+	prev := At(0)
+	for _, x := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		p := At(x)
+		if p.DropRate < prev.DropRate || p.JitterFrac < prev.JitterFrac ||
+			p.TruncateFrac < prev.TruncateFrac || p.ArmFailRate < prev.ArmFailRate {
+			t.Fatalf("At(%v) not monotone vs previous intensity", x)
+		}
+		prev = p
+	}
+}

@@ -24,6 +24,11 @@ type Table6Row struct {
 	NOPN, BusyN      int
 	IterationsFound  int
 	IterationsActual int
+	// Degradation counters from the trace's Health report. Rendered only
+	// when non-zero, so clean-run tables stay byte-identical to the
+	// pre-chaos output.
+	IterationsQuarantined int
+	ChannelsRejected      int
 }
 
 // Table6 evaluates the iteration-splitting stage on every tested trace. The
@@ -39,7 +44,7 @@ func (w *Workbench) Table6() (*Table6Result, error) {
 		}
 		labels := tr.Labels()
 		nopAcc, busyAcc, nopN, busyN := attack.GapAccuracy(split.IsNOP, labels)
-		return Table6Row{
+		row := Table6Row{
 			Model:            tr.Model.Name,
 			NOPAcc:           nopAcc,
 			BusyAcc:          busyAcc,
@@ -47,7 +52,12 @@ func (w *Workbench) Table6() (*Table6Result, error) {
 			BusyN:            busyN,
 			IterationsFound:  len(split.Valid),
 			IterationsActual: tr.Timeline.Iterations(),
-		}, nil
+		}
+		if tr.Health != nil {
+			row.IterationsQuarantined = tr.Health.IterationsQuarantined
+			row.ChannelsRejected = tr.Health.SpyChannelsRejected
+		}
+		return row, nil
 	})
 	if err != nil {
 		return nil, err
@@ -61,7 +71,14 @@ func (r *Table6Result) Render() string {
 	fmt.Fprintf(&b, "Table VI: iteration splitting (Mgap) accuracy\n")
 	fmt.Fprintf(&b, "%-20s %-6s %-18s %-18s %s\n", "Model", "Op", "# Ops", "Accuracy", "iters found/actual")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-20s %-6s %-18d %-18.3f %d/%d\n", row.Model, "NOP", row.NOPN, row.NOPAcc, row.IterationsFound, row.IterationsActual)
+		fmt.Fprintf(&b, "%-20s %-6s %-18d %-18.3f %d/%d", row.Model, "NOP", row.NOPN, row.NOPAcc, row.IterationsFound, row.IterationsActual)
+		if row.IterationsQuarantined > 0 {
+			fmt.Fprintf(&b, " (%d quarantined)", row.IterationsQuarantined)
+		}
+		if row.ChannelsRejected > 0 {
+			fmt.Fprintf(&b, " (%d channels rejected)", row.ChannelsRejected)
+		}
+		fmt.Fprintf(&b, "\n")
 		fmt.Fprintf(&b, "%-20s %-6s %-18d %-18.3f\n", "", "BUSY", row.BusyN, row.BusyAcc)
 	}
 	return b.String()

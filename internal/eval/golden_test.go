@@ -1,0 +1,57 @@
+package eval
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"leakydnn/internal/chaos"
+)
+
+// goldenTestedTracesSHA256 is the hash of the tiny-scale tested traces as
+// collected before the chaos subsystem existed. A zero chaos.Plan must keep
+// the measurement path byte-identical to that pre-fault-injection build: if
+// this test fails, plumbing the injector through trace.Collect has perturbed
+// clean runs, which breaks every previously published table.
+const goldenTestedTracesSHA256 = "5c88e83ddb8b223df8d9e4b01fe53680d3a016d8fd2e0013a7d1be087eac7630"
+
+func hashTraces(t *testing.T, sc Scale) string {
+	t.Helper()
+	h := sha256.New()
+	traces, err := sc.CollectTraces(sc.Tested, sc.Seed+900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces {
+		binary.Write(h, binary.LittleEndian, int64(len(tr.Samples)))
+		for _, s := range tr.Samples {
+			binary.Write(h, binary.LittleEndian, int64(s.Start))
+			binary.Write(h, binary.LittleEndian, int64(s.End))
+			for _, v := range s.Values {
+				binary.Write(h, binary.LittleEndian, v)
+			}
+		}
+		binary.Write(h, binary.LittleEndian, int64(tr.VictimWall))
+		binary.Write(h, binary.LittleEndian, int64(tr.SpyProbeLaunches))
+		binary.Write(h, binary.LittleEndian, int64(tr.SpyChannelsRejected))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func TestCleanCollectionMatchesGoldenHash(t *testing.T) {
+	if got := hashTraces(t, Tiny()); got != goldenTestedTracesSHA256 {
+		t.Fatalf("clean tiny-scale collection drifted from the pre-chaos golden hash:\n got %s\nwant %s",
+			got, goldenTestedTracesSHA256)
+	}
+}
+
+// A non-zero chaos plan must actually change the collected traces — otherwise
+// the golden test above proves nothing about the zero-plan path.
+func TestChaoticCollectionDiffersFromGolden(t *testing.T) {
+	sc := Tiny()
+	sc.Chaos = chaos.At(0.25)
+	if got := hashTraces(t, sc); got == goldenTestedTracesSHA256 {
+		t.Fatal("chaos plan at intensity 0.25 left the traces byte-identical to clean runs")
+	}
+}

@@ -1,0 +1,147 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"leakydnn/internal/attack"
+	"leakydnn/internal/chaos"
+	"leakydnn/internal/par"
+	"leakydnn/internal/trace"
+)
+
+// RobustnessResult is the accuracy-vs-fault-intensity sweep: the attack's
+// models are trained once on clean profiled traces, then every tested victim
+// is re-collected under chaos.At(intensity) for each intensity and attacked.
+// It answers the robustness question the paper leaves implicit: how much
+// measurement-path damage can MoSConS absorb before recovery collapses?
+type RobustnessResult struct {
+	Scale string
+	Rows  []RobustnessRow
+}
+
+// RobustnessRow aggregates one intensity step over every tested victim.
+type RobustnessRow struct {
+	Intensity float64
+
+	// Victims is the tested-model count; CollectFailed counts co-runs the
+	// fault injector killed outright (e.g. the probe channel never armed),
+	// ExtractFailed counts traces too damaged for the pipeline to find any
+	// iteration. Both count into the accuracy means as total misses.
+	Victims       int
+	CollectFailed int
+	ExtractFailed int
+
+	// LetterAcc and LayerAcc are Table VII/IX-style accuracies averaged over
+	// all victims (failed victims contribute zero).
+	LetterAcc float64
+	LayerAcc  float64
+
+	// Aggregate trace-health accounting across the collected victims.
+	SamplesEmitted        int
+	SamplesDelivered      int
+	IterationsTotal       int
+	IterationsProcessed   int
+	IterationsQuarantined int
+	SpyArmRetries         int
+	SpyChannelsRejected   int
+}
+
+// Robustness sweeps the canonical chaos.At fault blend over the given
+// intensities. Training (and the workbench's clean tested traces) stay
+// untouched; each intensity re-collects every tested victim under its own
+// fault plan and extracts with the already-trained models. Per-victim
+// failures degrade the row's averages instead of aborting the sweep.
+func (w *Workbench) Robustness(intensities []float64) (*RobustnessResult, error) {
+	if len(intensities) == 0 {
+		return nil, fmt.Errorf("eval: no intensities to sweep")
+	}
+	res := &RobustnessResult{Scale: w.Scale.Name}
+	for step, intensity := range intensities {
+		plan := chaos.At(intensity)
+		if err := plan.Validate(); err != nil {
+			return nil, fmt.Errorf("eval: intensity %v: %w", intensity, err)
+		}
+		sc := w.Scale
+		sc.Chaos = plan
+		row := RobustnessRow{Intensity: intensity, Victims: len(sc.Tested)}
+
+		type victim struct {
+			tr         *trace.Trace
+			letterAcc  float64
+			layerAcc   float64
+			collectErr error
+			extractErr error
+		}
+		// Same seed base as the workbench's clean tested collection, so each
+		// intensity perturbs the same underlying co-runs and the sweep isolates
+		// the fault effect from seed-to-seed variance.
+		outs, err := par.Map(sc.Workers, len(sc.Tested), func(i int) (victim, error) {
+			tr, err := trace.Collect(sc.Tested[i], sc.RunConfig(sc.Seed+900+int64(i), true))
+			if err != nil {
+				return victim{collectErr: err}, nil
+			}
+			v := victim{tr: tr}
+			rec, err := w.Models.Extract(tr.Samples)
+			if err != nil {
+				v.extractErr = err
+				return v, nil
+			}
+			truth := attack.LetterTruth(tr.Labels(), rec.Base)
+			_, v.letterAcc = attack.LetterAccuracy(rec.Letters, truth)
+			v.layerAcc, _ = attack.LayerAccuracy(rec.Layers, tr.Model)
+			return v, nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eval: robustness step %d: %w", step, err)
+		}
+		for _, v := range outs {
+			switch {
+			case v.collectErr != nil:
+				row.CollectFailed++
+				continue
+			case v.extractErr != nil:
+				row.ExtractFailed++
+			default:
+				row.LetterAcc += v.letterAcc
+				row.LayerAcc += v.layerAcc
+			}
+			h := v.tr.Health
+			row.SamplesEmitted += h.SamplesEmitted
+			row.SamplesDelivered += h.SamplesDelivered
+			row.IterationsTotal += h.IterationsTotal
+			row.IterationsProcessed += h.IterationsProcessed
+			row.IterationsQuarantined += h.IterationsQuarantined
+			row.SpyArmRetries += h.SpyArmRetries
+			row.SpyChannelsRejected += h.SpyChannelsRejected
+		}
+		if row.Victims > 0 {
+			row.LetterAcc /= float64(row.Victims)
+			row.LayerAcc /= float64(row.Victims)
+		}
+		if row.IterationsProcessed+row.IterationsQuarantined != row.IterationsTotal {
+			return nil, fmt.Errorf("eval: robustness step %d breaks the iteration identity: %d + %d != %d",
+				step, row.IterationsProcessed, row.IterationsQuarantined, row.IterationsTotal)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the sweep as one row per intensity.
+func (r *RobustnessResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Robustness: accuracy vs measurement-fault intensity (%s scale)\n", r.Scale)
+	fmt.Fprintf(&b, "%-10s %-10s %-10s %-16s %-18s %-14s %s\n",
+		"intensity", "letterAcc", "layerAcc", "victims(C/X/ok)", "samples del/emit", "iters ok/quar", "arm retries")
+	for _, row := range r.Rows {
+		ok := row.Victims - row.CollectFailed - row.ExtractFailed
+		fmt.Fprintf(&b, "%-10.2f %-10.3f %-10.3f %d/%d/%-12d %d/%-17d %d/%-13d %d\n",
+			row.Intensity, row.LetterAcc, row.LayerAcc,
+			row.CollectFailed, row.ExtractFailed, ok,
+			row.SamplesDelivered, row.SamplesEmitted,
+			row.IterationsProcessed, row.IterationsQuarantined,
+			row.SpyArmRetries)
+	}
+	return b.String()
+}

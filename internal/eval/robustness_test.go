@@ -1,0 +1,65 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// The acceptance bar for the robustness sweep: it completes without error at
+// every intensity (including the extremes), the per-row iteration accounting
+// identity holds (Robustness itself enforces processed + quarantined ==
+// total and errors otherwise), accuracy at intensity 0 matches the clean
+// pipeline, and accuracy does not increase as faults intensify beyond noise.
+func TestRobustnessSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a workbench and sweeps five intensities")
+	}
+	w, err := NewWorkbench(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	intensities := []float64{0, 0.25, 0.5, 1.0}
+	res, err := w.Robustness(intensities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(intensities) {
+		t.Fatalf("sweep returned %d rows for %d intensities", len(res.Rows), len(intensities))
+	}
+	clean := res.Rows[0]
+	if clean.CollectFailed != 0 || clean.ExtractFailed != 0 || clean.IterationsQuarantined != 0 {
+		t.Fatalf("intensity 0 degraded: %+v", clean)
+	}
+	if clean.SamplesDelivered != clean.SamplesEmitted {
+		t.Fatalf("intensity 0 lost samples: %d/%d", clean.SamplesDelivered, clean.SamplesEmitted)
+	}
+	if clean.LetterAcc <= 0 || clean.LayerAcc <= 0 {
+		t.Fatalf("clean accuracies are zero: %+v", clean)
+	}
+	for _, row := range res.Rows[1:] {
+		if row.SamplesDelivered >= row.SamplesEmitted {
+			t.Fatalf("intensity %v delivered %d of %d samples despite drop+truncate faults",
+				row.Intensity, row.SamplesDelivered, row.SamplesEmitted)
+		}
+		if row.Victims != clean.Victims {
+			t.Fatalf("victim count changed across intensities: %d vs %d", row.Victims, clean.Victims)
+		}
+	}
+	// Monotone-ish: the heaviest fault level must not beat the clean run.
+	heaviest := res.Rows[len(res.Rows)-1]
+	if heaviest.LetterAcc > clean.LetterAcc {
+		t.Fatalf("letter accuracy improved under maximum faults: %.3f > %.3f",
+			heaviest.LetterAcc, clean.LetterAcc)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "intensity") || !strings.Contains(out, "0.25") {
+		t.Fatalf("render missing sweep rows:\n%s", out)
+	}
+}
+
+func TestRobustnessRejectsEmptySweep(t *testing.T) {
+	w := &Workbench{Scale: Tiny()}
+	if _, err := w.Robustness(nil); err == nil {
+		t.Fatal("empty intensity list accepted")
+	}
+}

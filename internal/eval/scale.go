@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"leakydnn/internal/attack"
+	"leakydnn/internal/chaos"
 	"leakydnn/internal/dnn"
 	"leakydnn/internal/gpu"
 	"leakydnn/internal/par"
@@ -47,6 +48,11 @@ type Scale struct {
 	// so any Workers value produces byte-identical tables; 1 reproduces the
 	// historical serial behaviour, <= 0 selects runtime.GOMAXPROCS(0).
 	Workers int
+	// Chaos perturbs every trace collection at this scale with measurement-
+	// path faults (see internal/chaos). The zero plan leaves collection
+	// byte-identical to the pre-chaos pipeline, which TestCleanCollection-
+	// MatchesGoldenHash enforces.
+	Chaos chaos.Plan
 }
 
 // Tiny returns the unit-test scale: 1/500 time constants and the tiny zoo.
@@ -132,7 +138,8 @@ func (sc Scale) RunConfig(seed int64, slowdown bool) trace.RunConfig {
 			TimeScale:    sc.TimeScale,
 			SamplePeriod: sc.SamplePeriod,
 		},
-		Seed: seed,
+		Seed:  seed,
+		Chaos: sc.Chaos,
 	}
 }
 

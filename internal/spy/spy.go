@@ -9,6 +9,7 @@ package spy
 import (
 	"fmt"
 
+	"leakydnn/internal/chaos"
 	"leakydnn/internal/cupti"
 	"leakydnn/internal/gpu"
 )
@@ -160,6 +161,12 @@ type Config struct {
 	// Driver, when set, is consulted before profiling: a patched driver
 	// (§II-D) denies CUPTI access until the adversary downgrades it.
 	Driver *cupti.Driver
+	// Faults, when set, injects channel-arming failures (and, via the trace
+	// layer, sample-stream faults) into the spy's measurement path. Failed
+	// arming attempts are retried with capped exponential backoff; the
+	// accumulated backoff delays the channel's first launch, so arming
+	// trouble is visible in the data as missing early windows.
+	Faults *chaos.Injector
 }
 
 // Program is a deployed spy: its kernels attached to an engine plus the
@@ -171,6 +178,8 @@ type Program struct {
 	kernelSampler *cupti.KernelSampler
 	probeSource   *gpu.RepeatSource
 	rejected      int
+	armRetries    int
+	armFailures   int
 }
 
 // NewProgram validates cfg and prepares the spy's kernels and sampler.
@@ -206,19 +215,32 @@ func NewProgram(cfg Config) (*Program, error) {
 }
 
 // AttachTimeSliced adds the spy's channels to a time-sliced engine. The probe
-// channel is mandatory: if the engine rejects it the spy cannot sample at all
-// and an error is returned. Slow-down channels beyond a hardened scheduler's
-// per-context cap fail exactly as a real driver fails surplus channel
-// creation; the spy proceeds disarmed and reports how many channels were
-// refused via RejectedChannels, so no run is silently missing kernels.
+// channel is mandatory: if the engine rejects it (or chaos-injected arming
+// failures exhaust even the mandatory retry budget) the spy cannot sample at
+// all and an error is returned. Slow-down channels beyond a hardened
+// scheduler's per-context cap fail exactly as a real driver fails surplus
+// channel creation; the spy proceeds disarmed and reports how many channels
+// were refused via RejectedChannels, so no run is silently missing kernels.
+// Under fault injection every failed arming attempt is retried with capped
+// exponential backoff; the accumulated delay pushes the channel's first
+// launch back, and channels that exhaust their retries are counted by
+// ArmFailures.
 func (p *Program) AttachTimeSliced(eng *gpu.Engine) error {
 	p.probeSource = &gpu.RepeatSource{Kernel: p.probe}
-	if !eng.AddChannel(p.cfg.Ctx, p.probeSource) {
+	armed, err := p.armChannel(eng, p.probeSource, true)
+	if err != nil {
+		return err
+	}
+	if !armed {
 		return fmt.Errorf("spy: engine rejected probe channel for ctx %d (channel cap reached)", p.cfg.Ctx)
 	}
 	if p.cfg.Slowdown {
 		for _, k := range SlowdownKernels(p.cfg.TimeScale) {
-			if !eng.AddChannel(p.cfg.Ctx, &gpu.RepeatSource{Kernel: k}) {
+			armed, err := p.armChannel(eng, &gpu.RepeatSource{Kernel: k}, false)
+			if err != nil {
+				return err
+			}
+			if !armed {
 				p.rejected++
 			}
 		}
@@ -226,9 +248,68 @@ func (p *Program) AttachTimeSliced(eng *gpu.Engine) error {
 	return nil
 }
 
+// armChannel arms one channel, retrying chaos-injected failures with capped
+// backoff. It reports whether the channel ended up registered; mandatory
+// channels return an error instead of false when arming itself (not the
+// scheduler's channel cap) is what failed.
+func (p *Program) armChannel(eng *gpu.Engine, src gpu.Source, mandatory bool) (bool, error) {
+	if p.cfg.Faults != nil {
+		retries, ok := p.cfg.Faults.ArmChannel(mandatory)
+		p.armRetries += retries
+		if !ok {
+			p.armFailures++
+			if mandatory {
+				return false, fmt.Errorf("spy: probe channel arming failed after %d retries (injected launch faults)", retries)
+			}
+			return false, nil
+		}
+		if delay := chaos.BackoffDelay(retries, p.backoffBase()); delay > 0 {
+			src = &delayedSource{inner: src, delay: delay}
+		}
+	}
+	return eng.AddChannel(p.cfg.Ctx, src), nil
+}
+
+// backoffBase is the first re-arming delay: about one probe duration, so the
+// backoff cost scales with the platform's time constants.
+func (p *Program) backoffBase() gpu.Nanos {
+	if d := p.probe.FixedDuration; d > 0 {
+		return d
+	}
+	return gpu.Millisecond
+}
+
+// delayedSource postpones the inner source's first launch by the arming
+// backoff; subsequent launches are undisturbed.
+type delayedSource struct {
+	inner gpu.Source
+	delay gpu.Nanos
+}
+
+// Next implements gpu.Source.
+func (d *delayedSource) Next(now gpu.Nanos) (gpu.KernelProfile, gpu.Nanos, bool) {
+	k, notBefore, ok := d.inner.Next(now)
+	if ok && d.delay > 0 {
+		if nb := now + d.delay; notBefore < nb {
+			notBefore = nb
+		}
+		d.delay = 0
+	}
+	return k, notBefore, ok
+}
+
 // RejectedChannels reports how many slow-down channels the scheduler refused
-// (non-zero only under a hardened per-context channel cap).
+// (non-zero only under a hardened per-context channel cap or injected arming
+// faults that exhausted their retries).
 func (p *Program) RejectedChannels() int { return p.rejected }
+
+// ArmRetries reports how many chaos-injected arming failures the spy retried
+// through (always zero without fault injection).
+func (p *Program) ArmRetries() int { return p.armRetries }
+
+// ArmFailures reports how many channels were abandoned after exhausting
+// their arming retries (always zero without fault injection).
+func (p *Program) ArmFailures() int { return p.armFailures }
 
 // AttachMPS adds the spy as a leftover-policy secondary under MPS.
 func (p *Program) AttachMPS(eng *gpu.MPSEngine) {

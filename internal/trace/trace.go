@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"leakydnn/internal/chaos"
 	"leakydnn/internal/cupti"
 	"leakydnn/internal/dnn"
 	"leakydnn/internal/gpu"
@@ -39,6 +40,12 @@ type RunConfig struct {
 	// endlessly on its own context, adding scheduling non-determinism that
 	// degrades the spy's view.
 	BackgroundTenants []dnn.Model
+	// Chaos injects measurement-path faults (dropped/duplicated samples,
+	// counter jitter and saturation, arming failures, preemption gaps, clock
+	// skew, truncation). The zero plan injects nothing and leaves the run
+	// byte-identical to a fault-free collection; the injector draws from its
+	// own seeded RNG stream, never the engine's.
+	Chaos chaos.Plan
 }
 
 // Trace is the outcome of one co-run: the spy-side samples and the
@@ -56,6 +63,9 @@ type Trace struct {
 	// SpyChannelsRejected counts slow-down channels a hardened scheduler
 	// refused to register (the disarmed slow-down attack of §VI).
 	SpyChannelsRejected int
+	// Health is the co-run's degradation report: per-cause fault accounting
+	// and iteration coverage. Always populated, even on clean runs.
+	Health *Health
 }
 
 // Collect runs the victim and spy together under the time-sliced scheduler
@@ -74,6 +84,17 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 	sess, err := tfsim.NewSession(m, cfg.Session, cfg.Device)
 	if err != nil {
 		return nil, err
+	}
+	// Fault injection owns a private RNG stream: a non-zero plan perturbs the
+	// measurement path but never the engine's scheduling randomness, and the
+	// zero plan builds no injector at all, keeping clean runs byte-identical.
+	var inj *chaos.Injector
+	if !cfg.Chaos.IsZero() {
+		inj, err = chaos.NewInjector(cfg.Chaos, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		cfg.Spy.Faults = inj
 	}
 	prog, err := spy.NewProgram(cfg.Spy)
 	if err != nil {
@@ -167,15 +188,31 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 		wall = last - first
 	}
 
-	return &Trace{
+	samples := prog.Samples(eng.Now())
+	health := &Health{
+		SamplesEmitted:      len(samples),
+		SpyChannelsRejected: prog.RejectedChannels(),
+		SpyArmRetries:       prog.ArmRetries(),
+		SpyArmFailures:      prog.ArmFailures(),
+	}
+	if inj != nil {
+		samples = inj.Apply(samples)
+		health.Faults = inj.Stats()
+	}
+	health.SamplesDelivered = len(samples)
+
+	t := &Trace{
 		Model:               m,
 		Ops:                 sess.Ops(),
-		Samples:             prog.Samples(eng.Now()),
+		Samples:             samples,
 		Timeline:            tl,
 		VictimWall:          wall,
 		SpyProbeLaunches:    prog.ProbeLaunches(),
 		SpyChannelsRejected: prog.RejectedChannels(),
-	}, nil
+		Health:              health,
+	}
+	t.computeIterationHealth(health, cfg.Session.Iterations)
+	return t, nil
 }
 
 // Label is the ground truth attached to one CUPTI sample.
@@ -196,9 +233,14 @@ type Label struct {
 
 // Labels aligns every sample with the timeline using the largest-overlap
 // rule and returns per-sample ground truth. Samples and timeline events both
-// arrive in time order, so the alignment is a linear two-pointer sweep.
+// arrive in time order, so the alignment is a linear two-pointer sweep. A
+// trace without a timeline (deserialized or hand-built) labels every sample
+// NOP rather than panicking.
 func (t *Trace) Labels() []Label {
-	events := t.Timeline.Events()
+	var events []tfsim.TimelineEvent
+	if t.Timeline != nil {
+		events = t.Timeline.Events()
+	}
 	out := make([]Label, len(t.Samples))
 	idx := 0
 	for i, s := range t.Samples {

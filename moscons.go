@@ -26,6 +26,7 @@ package leakydnn
 import (
 	"leakydnn/internal/attack"
 	"leakydnn/internal/baseline"
+	"leakydnn/internal/chaos"
 	"leakydnn/internal/cupti"
 	"leakydnn/internal/defense"
 	"leakydnn/internal/dnn"
@@ -118,7 +119,24 @@ type (
 	Trace = trace.Trace
 	// Sample is one CUPTI reading.
 	Sample = cupti.Sample
+	// TraceHealth is a co-run's degradation report: per-cause fault
+	// accounting and iteration coverage.
+	TraceHealth = trace.Health
 )
+
+// Fault injection: deterministic measurement-path chaos (dropped/duplicated
+// samples, counter jitter, arming failures, preemption gaps, clock skew,
+// truncation). Set TraceConfig.Chaos or Scale.Chaos; the zero plan keeps
+// every run byte-identical to a clean collection.
+type (
+	// ChaosPlan configures the fault injector.
+	ChaosPlan = chaos.Plan
+	// ChaosStats is the injector's per-cause fault accounting.
+	ChaosStats = chaos.Stats
+)
+
+// ChaosAt returns the canonical fault blend at an intensity in [0, 1].
+var ChaosAt = chaos.At
 
 // CollectTrace co-runs the spy against a victim model under the time-sliced
 // scheduler and returns the aligned trace.
@@ -161,6 +179,10 @@ type (
 	Scale = eval.Scale
 	// Workbench couples a trained attack with tested traces.
 	Workbench = eval.Workbench
+	// RobustnessResult is the accuracy-vs-fault-intensity sweep.
+	RobustnessResult = eval.RobustnessResult
+	// RobustnessRow aggregates one intensity step of the sweep.
+	RobustnessRow = eval.RobustnessRow
 )
 
 // Experiment scales and runners.
