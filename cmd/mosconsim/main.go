@@ -43,6 +43,18 @@ func run() error {
 		chaosTruncate = flag.Float64("chaos-truncate", 0, "override: trailing trace fraction discarded")
 		chaosArmFail  = flag.Float64("chaos-armfail", 0, "override: spy channel arming failure rate")
 		chaosSeed     = flag.Int64("chaos-seed", 0, "fault-stream seed (0 = derive from -seed)")
+
+		schedIntensity = flag.Float64("sched", 0,
+			"scheduler-fault intensity in [0,1]: applies the canonical chaos.SchedAt mix (victim stalls, driver resets, tenant churn) to the victim co-runs")
+		schedStallRate = flag.Float64("sched-stall-rate", 0, "override: per-iteration victim input-pipeline stall probability")
+		schedStallFrac = flag.Float64("sched-stall-frac", 0, "override: stall length as a fraction of one iteration")
+		schedResets    = flag.Int("sched-resets", 0, "override: driver resets of the spy context per run")
+		schedJoins     = flag.Int("sched-joins", 0, "override: background tenants joining mid-run")
+		schedLeaves    = flag.Int("sched-leaves", 0, "override: initially attached tenants leaving mid-run")
+		schedSeed      = flag.Int64("sched-seed", 0, "scheduler-fault-stream seed (0 = derive from -seed)")
+
+		saveTraces = flag.String("save-traces", "", "stream the victim traces to this file after collection")
+		loadTraces = flag.String("load-traces", "", "load victim traces from this file instead of re-collecting (chaos/sched flags are ignored)")
 	)
 	flag.Parse()
 
@@ -69,6 +81,25 @@ func run() error {
 	}
 	if *chaosArmFail > 0 {
 		plan.ArmFailRate = *chaosArmFail
+	}
+	plan.Sched = chaos.SchedAt(*schedIntensity)
+	if *schedStallRate > 0 {
+		plan.Sched.StallRate = *schedStallRate
+	}
+	if *schedStallFrac > 0 {
+		plan.Sched.StallFrac = *schedStallFrac
+	}
+	if *schedResets > 0 {
+		plan.Sched.Resets = *schedResets
+	}
+	if *schedJoins > 0 {
+		plan.Sched.TenantJoins = *schedJoins
+	}
+	if *schedLeaves > 0 {
+		plan.Sched.TenantLeaves = *schedLeaves
+	}
+	if !plan.Sched.IsZero() {
+		plan.Sched.Seed = *schedSeed
 	}
 	if !plan.IsZero() {
 		plan.Seed = *chaosSeed
@@ -101,16 +132,42 @@ func run() error {
 		models = w.Models
 		tested = w.Tested
 	}
-	if tested == nil || !plan.IsZero() {
+	if *loadTraces != "" {
+		f, err := os.Open(*loadTraces)
+		if err != nil {
+			return err
+		}
+		tested, err = trace.ReadTraces(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d victim traces from %s\n", len(tested), *loadTraces)
+	} else if tested == nil || !plan.IsZero() {
 		scVictim := sc
 		scVictim.Chaos = plan
 		if !plan.IsZero() {
-			fmt.Printf("re-collecting victim traces under fault plan (intensity %.2f blend)\n", *chaosIntensity)
+			fmt.Printf("re-collecting victim traces under fault plan (measurement %.2f, scheduler %.2f blend)\n",
+				*chaosIntensity, *schedIntensity)
 		}
 		tested, err = scVictim.CollectTraces(scVictim.Tested, scVictim.Seed+900)
 		if err != nil {
 			return err
 		}
+	}
+	if *saveTraces != "" {
+		f, err := os.Create(*saveTraces)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteTraces(f, tested); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("victim traces streamed to %s\n", *saveTraces)
 	}
 	fmt.Printf("training report: %v\n\n", models.Report)
 
@@ -149,7 +206,7 @@ func attackOne(models *attack.Models, tr *trace.Trace, verbose bool) error {
 	if tr.Health != nil {
 		fmt.Printf("trace health: %s\n", tr.Health.Summary())
 	}
-	rec, err := models.Extract(tr.Samples)
+	rec, err := models.ExtractTrace(tr)
 	if err != nil {
 		// A trace can be too damaged to attack; report and move on rather
 		// than abort the remaining victims.
@@ -158,6 +215,10 @@ func attackOne(models *attack.Models, tr *trace.Trace, verbose bool) error {
 	}
 	if verbose {
 		fmt.Printf("letters: %s\n", rec.Letters)
+	}
+	if rec.Coverage.StreamSegments > 1 {
+		fmt.Printf("stream: %d independent segments (%d re-anchor markers)\n",
+			rec.Coverage.StreamSegments, len(tr.Reanchors))
 	}
 	fmt.Printf("iterations: %d detected, %d clean", len(rec.Split.All), len(rec.Split.Valid))
 	if n := rec.Coverage.QuarantinedShort + rec.Coverage.QuarantinedLong; n > 0 {

@@ -208,7 +208,13 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			res, err := wb.Robustness([]float64{0, 0.2, 0.4, 0.6, 0.8, 1.0})
+			// 2-D grid: measurement-fault intensity x scheduler-fault
+			// intensity. The scheduler axis is coarser — each non-zero step
+			// injects at least one driver reset, which dominates the cost.
+			res, err := wb.Robustness(
+				[]float64{0, 0.2, 0.4, 0.6, 0.8, 1.0},
+				[]float64{0, 0.5, 1.0},
+			)
 			if err != nil {
 				return err
 			}

@@ -6,6 +6,7 @@ import (
 
 	"leakydnn/internal/cupti"
 	"leakydnn/internal/dnn"
+	"leakydnn/internal/gpu"
 	"leakydnn/internal/lstm"
 	"leakydnn/internal/trace"
 )
@@ -18,6 +19,10 @@ import (
 type Coverage struct {
 	// Samples is the input stream length.
 	Samples int
+	// StreamSegments is the number of independent stream segments the split
+	// ran over: 1 for a contiguous trace, 1 + number of effective re-anchor
+	// cuts for a trace the spy's recovery layer stitched back together.
+	StreamSegments int
 	// SegmentsDetected is every busy segment Mgap found; SegmentsValid is the
 	// subset that survived the iteration length filter.
 	SegmentsDetected int
@@ -74,6 +79,20 @@ type Recovery struct {
 // vote across iterations, infer hyper-parameters, collapse, derive layers
 // and apply syntax corrections.
 func (m *Models) Extract(samples []cupti.Sample) (*Recovery, error) {
+	return m.ExtractSegmented(samples, nil)
+}
+
+// ExtractTrace extracts from a collected trace, honoring its re-anchor
+// markers: samples on either side of a survived driver reset are treated as
+// independent segments instead of one contiguous stream. For traces without
+// markers it is identical to Extract(tr.Samples).
+func (m *Models) ExtractTrace(tr *trace.Trace) (*Recovery, error) {
+	return m.ExtractSegmented(tr.Samples, tr.Reanchors)
+}
+
+// ExtractSegmented is Extract with explicit re-anchor markers (simulated
+// times at which the spy re-established its context after losing it).
+func (m *Models) ExtractSegmented(samples []cupti.Sample, reanchors []gpu.Nanos) (*Recovery, error) {
 	if len(samples) == 0 {
 		return nil, errors.New("attack: no samples to extract from")
 	}
@@ -92,7 +111,7 @@ func (m *Models) Extract(samples []cupti.Sample) (*Recovery, error) {
 		features[i] = m.Scaler.Transform(Featurize(s))
 	}
 
-	split, err := m.SplitIterations(features)
+	split, err := m.SplitSegmented(features, trace.SegmentBounds(samples, reanchors))
 	if err != nil {
 		return nil, err
 	}
@@ -107,6 +126,7 @@ func (m *Models) Extract(samples []cupti.Sample) (*Recovery, error) {
 	}
 	rec := &Recovery{Split: split, Coverage: Coverage{
 		Samples:          len(samples),
+		StreamSegments:   split.Segments,
 		SegmentsDetected: len(split.All),
 		SegmentsValid:    len(split.Valid),
 		QuarantinedShort: split.QuarantinedShort,

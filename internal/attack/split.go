@@ -9,6 +9,11 @@ import (
 type SplitResult struct {
 	// IsNOP is Mgap's per-sample classification.
 	IsNOP []bool
+	// Segments is the number of independent stream segments the split ran
+	// over: 1 for a contiguous trace, more when re-anchor boundaries cut the
+	// stream (the spy lost its context in between, so no iteration may span
+	// a boundary).
+	Segments int
 	// All contains every busy segment between NOP gaps.
 	All []Range
 	// Valid contains the segments whose sample counts fall within
@@ -27,6 +32,17 @@ type SplitResult struct {
 // stream at runs of at least THGap consecutive NOP samples, and filters
 // incomplete iterations.
 func (m *Models) SplitIterations(features [][]float64) (*SplitResult, error) {
+	return m.SplitSegmented(features, nil)
+}
+
+// SplitSegmented is SplitIterations for a stream cut by re-anchor markers:
+// bounds are ascending indices into features where a new independent segment
+// begins (trace.SegmentBounds output). A boundary forces an iteration split —
+// the spy had no context across it, so samples on either side must never be
+// fused into one iteration even if no NOP gap is visible. The incomplete-
+// iteration length filter still runs globally, so a boundary-truncated runt
+// is quarantined against the whole trace's median, not its own segment's.
+func (m *Models) SplitSegmented(features [][]float64, bounds []int) (*SplitResult, error) {
 	if m.Gap == nil {
 		return nil, errors.New("attack: Mgap not trained")
 	}
@@ -39,29 +55,10 @@ func (m *Models) SplitIterations(features [][]float64) (*SplitResult, error) {
 		res.IsNOP[i] = label == 1
 	}
 
-	// Split at NOP runs of length >= THGap. Shorter NOP runs stay inside the
-	// iteration (the paper observes NOPs inside layers too).
-	th := m.Cfg.THGap
-	start := -1 // first busy sample of the open segment
-	lastBusy := -1
-	nopRun := 0
-	for i, isNOP := range res.IsNOP {
-		if isNOP {
-			nopRun++
-			if nopRun == th && start >= 0 {
-				res.All = append(res.All, Range{Start: start, End: lastBusy + 1})
-				start = -1
-			}
-			continue
-		}
-		nopRun = 0
-		if start < 0 {
-			start = i
-		}
-		lastBusy = i
-	}
-	if start >= 0 && lastBusy >= start {
-		res.All = append(res.All, Range{Start: start, End: lastBusy + 1})
+	cuts := segmentCuts(len(features), bounds)
+	res.Segments = len(cuts) - 1
+	for k := 0; k+1 < len(cuts); k++ {
+		res.splitSegment(cuts[k], cuts[k+1], m.Cfg.THGap)
 	}
 
 	if len(res.All) == 0 {
@@ -90,4 +87,47 @@ func (m *Models) SplitIterations(features [][]float64) (*SplitResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// segmentCuts sanitizes re-anchor boundaries into a fencepost list
+// [0, b1, ..., n]: out-of-range or non-increasing bounds are dropped rather
+// than erroring, since markers near the stream edges legitimately cut
+// nothing.
+func segmentCuts(n int, bounds []int) []int {
+	cuts := make([]int, 1, len(bounds)+2)
+	cuts[0] = 0
+	for _, b := range bounds {
+		if b <= cuts[len(cuts)-1] || b >= n {
+			continue
+		}
+		cuts = append(cuts, b)
+	}
+	return append(cuts, n)
+}
+
+// splitSegment splits [lo, hi) at NOP runs of length >= th and appends the
+// busy segments to res.All. Shorter NOP runs stay inside the iteration (the
+// paper observes NOPs inside layers too).
+func (res *SplitResult) splitSegment(lo, hi, th int) {
+	start := -1 // first busy sample of the open segment
+	lastBusy := -1
+	nopRun := 0
+	for i := lo; i < hi; i++ {
+		if res.IsNOP[i] {
+			nopRun++
+			if nopRun == th && start >= 0 {
+				res.All = append(res.All, Range{Start: start, End: lastBusy + 1})
+				start = -1
+			}
+			continue
+		}
+		nopRun = 0
+		if start < 0 {
+			start = i
+		}
+		lastBusy = i
+	}
+	if start >= 0 && lastBusy >= start {
+		res.All = append(res.All, Range{Start: start, End: lastBusy + 1})
+	}
 }

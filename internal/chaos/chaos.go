@@ -63,10 +63,24 @@ type Plan struct {
 	// TruncateFrac discards this trailing fraction of the sample stream
 	// (the co-run was killed before the victim finished).
 	TruncateFrac float64
+
+	// Sched perturbs the scheduling layer instead of the measurement path:
+	// victim input-pipeline stalls, driver resets of the spy's context, and
+	// co-tenant churn. See SchedPlan; its zero value injects nothing.
+	Sched SchedPlan
 }
 
 // IsZero reports whether the plan injects nothing.
 func (p Plan) IsZero() bool {
+	return p == Plan{}
+}
+
+// MeasurementIsZero reports whether the measurement-path portion of the plan
+// injects nothing (the scheduling-side SchedPlan may still be active). With a
+// measurement-zero plan no sample-stream injector is built at all, keeping
+// the clean measurement path byte-identical.
+func (p Plan) MeasurementIsZero() bool {
+	p.Sched = SchedPlan{}
 	return p == Plan{}
 }
 
@@ -99,7 +113,7 @@ func (p Plan) Validate() error {
 	if p.PreemptGapLen < 0 {
 		return fmt.Errorf("chaos: PreemptGapLen must be >= 0, got %d", p.PreemptGapLen)
 	}
-	return nil
+	return p.Sched.Validate()
 }
 
 // At returns the canonical fault mix at the given intensity in [0, 1]:

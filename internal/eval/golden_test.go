@@ -55,3 +55,25 @@ func TestChaoticCollectionDiffersFromGolden(t *testing.T) {
 		t.Fatal("chaos plan at intensity 0.25 left the traces byte-identical to clean runs")
 	}
 }
+
+// The zero SchedPlan must leave collections byte-identical: a plan whose
+// measurement and scheduler sides are both explicitly zeroed takes the
+// no-injector path (no sched injector, no per-context RNG isolation) and
+// lands exactly on the pre-chaos golden hash.
+func TestZeroSchedPlanCollectionMatchesGoldenHash(t *testing.T) {
+	sc := Tiny()
+	sc.Chaos = chaos.Plan{Sched: chaos.SchedAt(0)}
+	if got := hashTraces(t, sc); got != goldenTestedTracesSHA256 {
+		t.Fatalf("zero SchedPlan perturbed the collection:\n got %s\nwant %s", got, goldenTestedTracesSHA256)
+	}
+}
+
+// And a non-zero SchedPlan alone (measurement side clean) must change the
+// traces, or the zero-plan guarantee above is vacuous.
+func TestSchedChaoticCollectionDiffersFromGolden(t *testing.T) {
+	sc := Tiny()
+	sc.Chaos = chaos.Plan{Sched: chaos.SchedAt(0.5)}
+	if got := hashTraces(t, sc); got == goldenTestedTracesSHA256 {
+		t.Fatal("scheduler-fault plan at intensity 0.5 left the traces byte-identical to clean runs")
+	}
+}

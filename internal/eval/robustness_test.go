@@ -19,7 +19,7 @@ func TestRobustnessSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 	intensities := []float64{0, 0.25, 0.5, 1.0}
-	res, err := w.Robustness(intensities)
+	res, err := w.Robustness(intensities, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,6 +44,9 @@ func TestRobustnessSweep(t *testing.T) {
 		if row.Victims != clean.Victims {
 			t.Fatalf("victim count changed across intensities: %d vs %d", row.Victims, clean.Victims)
 		}
+		if row.ResetsInjected != 0 || row.ChurnEvents != 0 || row.StallsInjected != 0 {
+			t.Fatalf("measurement-only sweep injected scheduler faults: %+v", row)
+		}
 	}
 	// Monotone-ish: the heaviest fault level must not beat the clean run.
 	heaviest := res.Rows[len(res.Rows)-1]
@@ -52,14 +55,67 @@ func TestRobustnessSweep(t *testing.T) {
 			heaviest.LetterAcc, clean.LetterAcc)
 	}
 	out := res.Render()
-	if !strings.Contains(out, "intensity") || !strings.Contains(out, "0.25") {
+	if !strings.Contains(out, "meas") || !strings.Contains(out, "0.25") {
 		t.Fatalf("render missing sweep rows:\n%s", out)
+	}
+}
+
+// The scheduler axis of the 2-D sweep: at mid intensity every victim's co-run
+// injects at least one driver reset, the spy survives at least one of them
+// (emitting a re-anchor marker), the accounting identities hold (enforced
+// inside Robustness), and extraction still recovers signal from the
+// re-anchored segments.
+func TestRobustnessSchedulerAxis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a workbench and re-collects tested victims under scheduler faults")
+	}
+	w, err := NewWorkbench(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Robustness([]float64{0}, []float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("expected 2 cells, got %d", len(res.Rows))
+	}
+	clean, sched := res.Rows[0], res.Rows[1]
+	if clean.ResetsInjected != 0 || clean.Reanchors != 0 {
+		t.Fatalf("sched intensity 0 injected resets: %+v", clean)
+	}
+	collected := sched.Victims - sched.CollectFailed
+	if collected == 0 {
+		t.Fatal("every victim failed to collect under scheduler faults")
+	}
+	if sched.ResetsInjected < collected {
+		t.Fatalf("expected >= 1 reset per collected victim, got %d resets over %d victims",
+			sched.ResetsInjected, collected)
+	}
+	if sched.ResetsSurvived == 0 {
+		t.Fatal("spy survived no driver reset at mid intensity")
+	}
+	if sched.Reanchors != sched.ResetsSurvived {
+		t.Fatalf("re-anchor markers %d != resets survived %d", sched.Reanchors, sched.ResetsSurvived)
+	}
+	if sched.SamplesLostToRecovery == 0 {
+		t.Fatal("driver resets lost no samples to recovery")
+	}
+	if sched.SamplesDelivered >= sched.SamplesEmitted {
+		t.Fatalf("outage windows not dropped: delivered %d of %d", sched.SamplesDelivered, sched.SamplesEmitted)
+	}
+	// The attack must still extract something from the stitched segments.
+	if sched.ExtractFailed == collected {
+		t.Fatal("extraction failed on every re-anchored trace")
+	}
+	if sched.LetterAcc <= 0 {
+		t.Fatalf("letter accuracy collapsed to zero under scheduler faults: %+v", sched)
 	}
 }
 
 func TestRobustnessRejectsEmptySweep(t *testing.T) {
 	w := &Workbench{Scale: Tiny()}
-	if _, err := w.Robustness(nil); err == nil {
+	if _, err := w.Robustness(nil, nil); err == nil {
 		t.Fatal("empty intensity list accepted")
 	}
 }

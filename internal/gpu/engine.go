@@ -49,6 +49,13 @@ type Engine struct {
 	cfg DeviceConfig
 	rng *rand.Rand
 
+	// Per-context RNG streams (see IsolateContextStreams). When isolation is
+	// off (the default), every draw comes from the shared rng, preserving the
+	// historical byte-identical behaviour.
+	isolated bool
+	isoSeed  int64
+	ctxRng   map[ContextID]*rand.Rand
+
 	channels []*channel
 	// cursor is the round-robin ring position: the index of the next channel
 	// pickRunnable inspects. Advancing it replaces the old physical slice
@@ -120,12 +127,14 @@ func NewEngine(cfg DeviceConfig, rng *rand.Rand) (*Engine, error) {
 // attack multiplies the spy's share of the round-robin). Under the hardened
 // scheduler (MaxChannelsPerCtx > 0) an unprotected context's channels beyond
 // the cap are rejected, and AddChannel reports whether the channel was
-// accepted.
+// accepted. Retired and detached channels no longer hold driver channel
+// slots, so a context that lost its channels to a reset can re-arm under the
+// same cap.
 func (e *Engine) AddChannel(ctx ContextID, src Source) bool {
 	if e.cfg.MaxChannelsPerCtx > 0 && ctx != e.cfg.ProtectedCtx {
 		count := 0
 		for _, ch := range e.channels {
-			if ch.ctx == ctx {
+			if ch.ctx == ctx && !ch.done {
 				count++
 			}
 		}
@@ -135,6 +144,97 @@ func (e *Engine) AddChannel(ctx ContextID, src Source) bool {
 	}
 	e.channels = append(e.channels, &channel{ctx: ctx, source: src})
 	return true
+}
+
+// AddChannelAt registers a channel whose kernels may not start before at — a
+// deferred attach. The driver accepts the channel now (it occupies a channel
+// slot immediately) but its first launch is floored at the given time; the
+// spy's post-reset re-arming uses this to model the watchdog delay plus
+// arming backoff.
+func (e *Engine) AddChannelAt(ctx ContextID, src Source, at Nanos) bool {
+	if at > 0 {
+		src = &floorSource{inner: src, at: at}
+	}
+	return e.AddChannel(ctx, src)
+}
+
+// floorSource floors every launch of the inner source at a fixed time; only
+// launches before that time are affected.
+type floorSource struct {
+	inner Source
+	at    Nanos
+}
+
+// Next implements Source.
+func (f *floorSource) Next(now Nanos) (KernelProfile, Nanos, bool) {
+	k, notBefore, ok := f.inner.Next(now)
+	if ok && notBefore < f.at {
+		notBefore = f.at
+	}
+	return k, notBefore, ok
+}
+
+// DetachContext force-retires every live channel of ctx, as a driver reset
+// tearing the context down does: in-flight kernels are lost mid-slice, the
+// channels stop receiving grants, and the context's L2/texture residency is
+// flushed. It returns how many channels were detached. The context may
+// re-attach later via AddChannel/AddChannelAt; new channels start cold.
+func (e *Engine) DetachContext(ctx ContextID) int {
+	n := 0
+	for _, ch := range e.channels {
+		if ch.ctx != ctx || ch.done {
+			continue
+		}
+		ch.done = true
+		ch.current = nil
+		ch.remaining = 0
+		n++
+	}
+	e.InvalidateResidency(ctx)
+	return n
+}
+
+// InvalidateResidency flushes the L2 and texture-cache residency of every
+// channel of ctx (alive or not): the next slice of any re-attached channel
+// pays full warm-up refetch traffic, exactly like a context whose state a
+// reset destroyed.
+func (e *Engine) InvalidateResidency(ctx ContextID) {
+	for _, ch := range e.channels {
+		if ch.ctx == ctx {
+			ch.resident = 0
+			ch.texResident = 0
+		}
+	}
+}
+
+// IsolateContextStreams switches the engine's randomness (slice jitter,
+// counter noise, sub-partition imbalance) from the single shared stream to
+// per-context streams derived from seed. With isolation on, the k-th slice of
+// a context draws the k-th values of that context's own stream, so adding or
+// removing a co-tenant mid-run cannot perturb the victim's or the spy's
+// randomness — the property the churn-determinism regression pins. Call it
+// before Run; the shared-stream default preserves historical byte-identical
+// traces.
+func (e *Engine) IsolateContextStreams(seed int64) {
+	e.isolated = true
+	e.isoSeed = seed
+	e.ctxRng = make(map[ContextID]*rand.Rand)
+}
+
+// rngFor returns the RNG stream for ctx: the shared stream unless isolation
+// is enabled.
+func (e *Engine) rngFor(ctx ContextID) *rand.Rand {
+	if !e.isolated {
+		return e.rng
+	}
+	r, ok := e.ctxRng[ctx]
+	if !ok {
+		// Golden-ratio key spreads adjacent context ids across seed space.
+		const phi = int64(-0x61c8864680b583eb) // 0x9e3779b97f4a7c15 as int64
+		r = rand.New(rand.NewSource(e.isoSeed ^ (int64(ctx)+1)*phi))
+		e.ctxRng[ctx] = r
+	}
+	return r
 }
 
 // Now returns the current simulated time.
@@ -288,7 +388,7 @@ func (e *Engine) grantSlice(ch *channel, until Nanos) {
 	if slice < e.cfg.MinSlice {
 		slice = e.cfg.MinSlice
 	}
-	slice = jitter(slice, e.cfg.JitterFrac, e.rng)
+	slice = jitter(slice, e.cfg.JitterFrac, e.rngFor(ch.ctx))
 
 	run := slice
 	if ch.remaining < run {
@@ -315,7 +415,7 @@ func (e *Engine) grantSlice(ch *channel, until Nanos) {
 		RefetchBytes:    refetch,
 		TexRefetchBytes: texRefetch,
 	}
-	rec.Counters = e.sliceCounters(k, run, refetch, texRefetch)
+	rec.Counters = e.sliceCounters(k, run, refetch, texRefetch, e.rngFor(ch.ctx))
 
 	e.now = rec.End
 	e.busy[ch.ctx] += run
@@ -432,23 +532,25 @@ func (e *Engine) touchTex(ch *channel, k KernelProfile, run Nanos) float64 {
 }
 
 // sliceCounters attributes performance-counter increments for running kernel
-// k for run nanoseconds, plus the L2 and texture refetch penalties.
-func (e *Engine) sliceCounters(k KernelProfile, run Nanos, refetch, texRefetch float64) CounterDelta {
+// k for run nanoseconds, plus the L2 and texture refetch penalties. rng is
+// the granted context's noise stream (the shared stream unless per-context
+// isolation is enabled).
+func (e *Engine) sliceCounters(k KernelProfile, run Nanos, refetch, texRefetch float64, rng *rand.Rand) CounterDelta {
 	read, write, tex := k.TrafficRates(e.cfg)
 	dur := float64(run)
 	sec := e.cfg.SectorBytes
 
-	readSec := noisy(read*dur/sec, e.cfg.NoiseFrac, e.rng)
-	writeSec := noisy(write*dur/sec, e.cfg.NoiseFrac, e.rng)
-	texSec := noisy(tex*dur/sec, e.cfg.NoiseFrac, e.rng)
-	refetchSec := noisy(refetch/sec, e.cfg.NoiseFrac, e.rng)
-	texRefetchSec := noisy(texRefetch/sec, e.cfg.NoiseFrac, e.rng)
+	readSec := noisy(read*dur/sec, e.cfg.NoiseFrac, rng)
+	writeSec := noisy(write*dur/sec, e.cfg.NoiseFrac, rng)
+	texSec := noisy(tex*dur/sec, e.cfg.NoiseFrac, rng)
+	refetchSec := noisy(refetch/sec, e.cfg.NoiseFrac, rng)
+	texRefetchSec := noisy(texRefetch/sec, e.cfg.NoiseFrac, rng)
 
 	var d CounterDelta
-	d.FBReadSectors = splitAcross(readSec+refetchSec+texRefetchSec, e.cfg.SubpImbalance, e.rng)
-	d.FBWriteSectors = splitAcross(writeSec, e.cfg.SubpImbalance, e.rng)
-	d.TexQueries = splitAcross(texSec+texRefetchSec, e.cfg.SubpImbalance, e.rng)
-	d.L2ReadMisses = splitAcross(readSec*e.cfg.ColdMissFrac+refetchSec, e.cfg.SubpImbalance, e.rng)
-	d.L2WriteMisses = splitAcross(writeSec*e.cfg.WriteMissFrac, e.cfg.SubpImbalance, e.rng)
+	d.FBReadSectors = splitAcross(readSec+refetchSec+texRefetchSec, e.cfg.SubpImbalance, rng)
+	d.FBWriteSectors = splitAcross(writeSec, e.cfg.SubpImbalance, rng)
+	d.TexQueries = splitAcross(texSec+texRefetchSec, e.cfg.SubpImbalance, rng)
+	d.L2ReadMisses = splitAcross(readSec*e.cfg.ColdMissFrac+refetchSec, e.cfg.SubpImbalance, rng)
+	d.L2WriteMisses = splitAcross(writeSec*e.cfg.WriteMissFrac, e.cfg.SubpImbalance, rng)
 	return d
 }

@@ -298,6 +298,70 @@ func (d *delayedSource) Next(now gpu.Nanos) (gpu.KernelProfile, gpu.Nanos, bool)
 	return k, notBefore, ok
 }
 
+// watchdogPeriods is how many quiet sampling periods the spy's host thread
+// tolerates before concluding its context was torn down. Real collection
+// loops use the same heuristic: a few missed polls is preemption, a long
+// silence is an eviction or driver reset.
+const watchdogPeriods = 4
+
+// WatchdogDelay is how long after a context teardown the spy's sample-gap
+// watchdog notices the outage: a few sampling periods of silence under
+// fixed-period polling, or a few probe durations under per-kernel sampling.
+func (p *Program) WatchdogDelay() gpu.Nanos {
+	if p.cfg.SamplePeriod > 0 {
+		return watchdogPeriods * p.cfg.SamplePeriod
+	}
+	return watchdogPeriods * p.probe.FixedDuration
+}
+
+// Recover re-arms the spy after a driver reset detached its channels. The
+// sample-gap watchdog detects the outage WatchdogDelay after the teardown at
+// `at`; the probe channel (and, if deployed, the slow-down channels) are then
+// re-armed through the same capped-backoff arming path as the initial attach,
+// with every retry counted once in ArmRetries. Channels join the engine
+// deferred: their first launch is floored at detection time plus the
+// accumulated backoff. It returns the probe's earliest relaunch time — the
+// trace layer's re-anchor marker — and whether the probe re-armed at all;
+// recovered=false means the spy is blind for the rest of the run (the arming
+// fault budget was exhausted, or a hardened scheduler refused the channel).
+func (p *Program) Recover(eng *gpu.Engine, at gpu.Nanos) (reanchor gpu.Nanos, recovered bool) {
+	detect := at + p.WatchdogDelay()
+	probeAt, ok := p.rearmChannel(eng, p.probeSource, true, detect)
+	if !ok {
+		return 0, false
+	}
+	if p.cfg.Slowdown {
+		for _, k := range SlowdownKernels(p.cfg.TimeScale) {
+			if _, ok := p.rearmChannel(eng, &gpu.RepeatSource{Kernel: k}, false, detect); !ok {
+				p.rejected++
+			}
+		}
+	}
+	return probeAt, true
+}
+
+// rearmChannel arms one channel mid-run, flooring its first launch at
+// `after` plus the capped-backoff delay of any chaos-injected arming
+// failures. Unlike the initial armChannel, a mandatory channel that exhausts
+// its retries degrades (reports false) instead of erroring: mid-run the spy
+// can only go blind, not abort the co-run it does not control.
+func (p *Program) rearmChannel(eng *gpu.Engine, src gpu.Source, mandatory bool, after gpu.Nanos) (gpu.Nanos, bool) {
+	start := after
+	if p.cfg.Faults != nil {
+		retries, ok := p.cfg.Faults.ArmChannel(mandatory)
+		p.armRetries += retries
+		if !ok {
+			p.armFailures++
+			return 0, false
+		}
+		start += chaos.BackoffDelay(retries, p.backoffBase())
+	}
+	if !eng.AddChannelAt(p.cfg.Ctx, src, start) {
+		return 0, false
+	}
+	return start, true
+}
+
 // RejectedChannels reports how many slow-down channels the scheduler refused
 // (non-zero only under a hardened per-context channel cap or injected arming
 // faults that exhausted their retries).

@@ -42,6 +42,13 @@ func (tl *Timeline) Observe(span gpu.KernelSpan) {
 // Events returns the recorded op executions in completion order.
 func (tl *Timeline) Events() []TimelineEvent { return tl.events }
 
+// TimelineFromEvents rebuilds a timeline from previously recorded events, in
+// the order given — the constructor a deserialized trace uses to restore its
+// ground truth without replaying the co-run.
+func TimelineFromEvents(events []TimelineEvent) *Timeline {
+	return &Timeline{events: append([]TimelineEvent(nil), events...)}
+}
+
 // Iterations returns the number of distinct iterations observed.
 func (tl *Timeline) Iterations() int {
 	seen := make(map[int]bool)

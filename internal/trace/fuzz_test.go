@@ -74,19 +74,58 @@ func fuzzTrace(data []byte) *Trace {
 		t = end
 	}
 	tr.Ops = ops
+
+	// Re-anchor markers: arbitrary (not necessarily ordered or in-range)
+	// times, exercising SegmentBounds' sanitization.
+	nAnchors, _ := read16()
+	for i := 0; i < int(nAnchors%8); i++ {
+		at, ok := read16()
+		if !ok {
+			break
+		}
+		tr.Reanchors = append(tr.Reanchors, gpu.Nanos(at)*17)
+	}
 	return tr
 }
 
 // FuzzAlignment drives the sample/timeline alignment (Labels and everything
 // stacked on it: SamplesPerIteration and the Health iteration accounting)
-// over arbitrary trace geometry. The properties: no panic, one label per
-// sample, and the quarantine identity holds for any iteration count.
+// over arbitrary trace geometry, plus SegmentBounds over arbitrary re-anchor
+// markers. The properties: no panic, one label per sample, the quarantine
+// identity holds for any iteration count, and segment cuts are always a
+// strictly increasing partition of the sample stream's interior.
 func FuzzAlignment(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{4, 0, 2, 0, 1, 0, 5, 0, 7, 0, 0, 0, 3, 0, 9, 0, 1, 0, 2, 0})
 	f.Add(make([]byte, 64))
+	// Multi-segment seeds: sample streams with re-anchor markers in range
+	// (cutting), out of range, duplicated, and descending.
+	f.Add([]byte{
+		8, 0, 2, 0, // 8 samples, 2 events
+		1, 0, 4, 0, 1, 0, 1, 0, 4, 0, 2, 0, 1, 0, 4, 0, 3, 0, // samples
+		1, 0, 4, 0, 4, 0, 1, 0, 4, 0, 5, 0, 1, 0, 4, 0, 6, 0,
+		1, 0, 4, 0, 7, 0, 1, 0, 4, 0, 8, 0,
+		2, 0, 6, 0, 1, 0, 2, 0, 6, 0, 2, 0, // events
+		3, 0, 1, 0, 2, 0, 1, 0, // 3 anchors: 17, 34, 17 (dup + descending)
+	})
+	f.Add([]byte{
+		4, 0, 0, 0,
+		0, 0, 9, 0, 1, 0, 0, 0, 9, 0, 2, 0, 0, 0, 9, 0, 3, 0, 0, 0, 9, 0, 4, 0,
+		2, 0, 1, 0, 255, 255, // anchors: one in range, one far past the stream
+	})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr := fuzzTrace(data)
+		cuts := SegmentBounds(tr.Samples, tr.Reanchors)
+		prev := 0
+		for _, c := range cuts {
+			if c <= prev || c >= len(tr.Samples) {
+				t.Fatalf("segment cut %d outside (previous %d, stream %d)", c, prev, len(tr.Samples))
+			}
+			prev = c
+		}
+		if len(cuts) > len(tr.Reanchors) {
+			t.Fatalf("%d cuts from %d markers", len(cuts), len(tr.Reanchors))
+		}
 		labels := tr.Labels()
 		if len(labels) != len(tr.Samples) {
 			t.Fatalf("alignment produced %d labels for %d samples", len(labels), len(tr.Samples))

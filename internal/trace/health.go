@@ -23,6 +23,16 @@ type Health struct {
 	// Faults is the injector's per-cause accounting (zero on clean runs).
 	Faults chaos.Stats
 
+	// Sched is the scheduler-fault accounting (zero on runs without a
+	// SchedPlan): driver resets injected and survived, victim stall count and
+	// summed stall time, applied tenant churn, and sample windows lost while
+	// the spy's context was down. Its SamplesLostToRecovery participates in
+	// the delivery identity alongside Faults' per-cause losses.
+	Sched chaos.SchedStats
+	// Reanchors counts the re-anchor markers the spy emitted (one per
+	// survived driver reset); it mirrors len(Trace.Reanchors).
+	Reanchors int
+
 	// SpyChannelsRejected mirrors Trace.SpyChannelsRejected: slow-down
 	// channels refused by a hardened scheduler or lost to arming faults.
 	SpyChannelsRejected int
@@ -87,10 +97,12 @@ func (t *Trace) computeIterationHealth(h *Health, totalIterations int) {
 }
 
 // Clean reports whether the co-run delivered everything it measured: no
-// injected faults, no rejected channels, no quarantined iterations.
+// injected faults (measurement or scheduler), no rejected channels, no
+// quarantined iterations.
 func (h *Health) Clean() bool {
 	return h.SamplesEmitted == h.SamplesDelivered &&
 		h.Faults == (chaos.Stats{}) &&
+		h.Sched == (chaos.SchedStats{}) && h.Reanchors == 0 &&
 		h.SpyChannelsRejected == 0 && h.SpyArmRetries == 0 && h.SpyArmFailures == 0 &&
 		h.IterationsQuarantined == 0
 }
@@ -109,6 +121,11 @@ func (h *Health) Summary() string {
 	}
 	if f.ClockSkew != 0 {
 		fmt.Fprintf(&b, ", clock skew %.1f%%", f.ClockSkew*100)
+	}
+	if s := h.Sched; s != (chaos.SchedStats{}) {
+		fmt.Fprintf(&b, "; sched faults: %d/%d resets survived, %d stalls (%v), %d joins + %d leaves, %d samples lost to recovery",
+			s.ResetsSurvived, s.ResetsInjected, s.StallsInjected, s.StallTime,
+			s.TenantsJoined, s.TenantsLeft, s.SamplesLostToRecovery)
 	}
 	fmt.Fprintf(&b, "; spy channels rejected %d", h.SpyChannelsRejected)
 	if h.SpyArmRetries > 0 || h.SpyArmFailures > 0 {

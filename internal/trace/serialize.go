@@ -1,0 +1,316 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"leakydnn/internal/cupti"
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/gpu"
+	"leakydnn/internal/tfsim"
+)
+
+// Streaming trace serialization: a trace is written as a sequence of
+// length-prefixed gob chunks (uvarint byte length, then one self-contained
+// gob stream per chunk), so a reader can process a multi-gigabyte collection
+// without holding more than one chunk of samples in flight, and a writer can
+// append traces to the same file back to back. The header carries the run
+// metadata and the expected chunk counts; sample and timeline-event chunks
+// follow in order; an end chunk closes each trace. Timeline events encode
+// their op as an index into the header's op table, restoring the
+// pointer-into-Ops identity on read.
+
+// traceMagic guards against feeding an arbitrary file to ReadTrace; the
+// trailing byte is the format version.
+const traceMagic = "MOSCONS\x01"
+
+// samplesPerChunk bounds a chunk's decoded size (~70 KB of counter values at
+// the current event-set width).
+const samplesPerChunk = 2048
+
+// eventsPerChunk bounds a timeline chunk the same way.
+const eventsPerChunk = 2048
+
+type chunkKind int
+
+const (
+	chunkHeader chunkKind = iota + 1
+	chunkSamples
+	chunkEvents
+	chunkEnd
+)
+
+// traceHeader is the first chunk of every serialized trace.
+type traceHeader struct {
+	Model               dnn.Model
+	Ops                 []dnn.Op
+	VictimWall          gpu.Nanos
+	SpyProbeLaunches    int
+	SpyChannelsRejected int
+	Reanchors           []gpu.Nanos
+	Health              *Health
+	// SampleCount and EventCount let the reader verify the stream was not
+	// truncated mid-trace.
+	SampleCount int
+	EventCount  int
+}
+
+// eventRecord is a TimelineEvent with its Op pointer flattened to an index
+// into the header's op table (-1 for events without one).
+type eventRecord struct {
+	Name       string
+	Start, End gpu.Nanos
+	Iteration  int
+	Op         int
+}
+
+type chunk struct {
+	Kind    chunkKind
+	Header  *traceHeader
+	Samples []cupti.Sample
+	Events  []eventRecord
+}
+
+// countingWriter tracks bytes written for the io.WriterTo contract.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeChunk(w io.Writer, c chunk) error {
+	// A fresh encoder per chunk makes every chunk a self-contained gob
+	// stream: a reader never needs type state from an earlier chunk, which
+	// is what lets multi-trace files be a plain concatenation.
+	var bb bytes.Buffer
+	if err := gob.NewEncoder(&bb).Encode(c); err != nil {
+		return fmt.Errorf("trace: encode chunk: %w", err)
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(bb.Len()))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(bb.Bytes())
+	return err
+}
+
+// WriteTo serializes the trace onto w as length-prefixed gob chunks and
+// implements io.WriterTo. Traces written back to back onto the same writer
+// form a valid multi-trace stream for ReadTraces.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+
+	opIdx := make(map[*dnn.Op]int, len(t.Ops))
+	for i := range t.Ops {
+		opIdx[&t.Ops[i]] = i
+	}
+	var events []tfsim.TimelineEvent
+	if t.Timeline != nil {
+		events = t.Timeline.Events()
+	}
+
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return cw.n, err
+	}
+	hdr := &traceHeader{
+		Model:               t.Model,
+		Ops:                 t.Ops,
+		VictimWall:          t.VictimWall,
+		SpyProbeLaunches:    t.SpyProbeLaunches,
+		SpyChannelsRejected: t.SpyChannelsRejected,
+		Reanchors:           t.Reanchors,
+		Health:              t.Health,
+		SampleCount:         len(t.Samples),
+		EventCount:          len(events),
+	}
+	if err := writeChunk(bw, chunk{Kind: chunkHeader, Header: hdr}); err != nil {
+		return cw.n, err
+	}
+	for off := 0; off < len(t.Samples); off += samplesPerChunk {
+		end := off + samplesPerChunk
+		if end > len(t.Samples) {
+			end = len(t.Samples)
+		}
+		if err := writeChunk(bw, chunk{Kind: chunkSamples, Samples: t.Samples[off:end]}); err != nil {
+			return cw.n, err
+		}
+	}
+	recs := make([]eventRecord, 0, eventsPerChunk)
+	flush := func() error {
+		if len(recs) == 0 {
+			return nil
+		}
+		err := writeChunk(bw, chunk{Kind: chunkEvents, Events: recs})
+		recs = recs[:0]
+		return err
+	}
+	for _, e := range events {
+		op := -1
+		if e.Op != nil {
+			i, ok := opIdx[e.Op]
+			if !ok {
+				return cw.n, fmt.Errorf("trace: timeline event %q points outside the trace's op table", e.Name)
+			}
+			op = i
+		}
+		recs = append(recs, eventRecord{Name: e.Name, Start: e.Start, End: e.End, Iteration: e.Iteration, Op: op})
+		if len(recs) == eventsPerChunk {
+			if err := flush(); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return cw.n, err
+	}
+	if err := writeChunk(bw, chunk{Kind: chunkEnd}); err != nil {
+		return cw.n, err
+	}
+	return cw.n, bw.Flush()
+}
+
+// maxChunkBytes rejects absurd length prefixes before allocating.
+const maxChunkBytes = 64 << 20
+
+func readChunk(r *bufio.Reader) (chunk, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return chunk{}, err
+	}
+	if n > maxChunkBytes {
+		return chunk{}, fmt.Errorf("trace: chunk length %d exceeds limit %d", n, maxChunkBytes)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return chunk{}, fmt.Errorf("trace: short chunk: %w", err)
+	}
+	var c chunk
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&c); err != nil {
+		return chunk{}, fmt.Errorf("trace: decode chunk: %w", err)
+	}
+	return c, nil
+}
+
+// ReadTrace decodes one trace from r. Wrap r in a bufio.Reader yourself when
+// reading several traces from one stream, or use ReadTraces.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return readOne(br)
+}
+
+func readOne(br *bufio.Reader) (*Trace, error) {
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF // clean end of a multi-trace stream
+		}
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q (not a serialized trace, or unsupported version)", magic)
+	}
+	first, err := readChunk(br)
+	if err != nil {
+		return nil, err
+	}
+	if first.Kind != chunkHeader || first.Header == nil {
+		return nil, fmt.Errorf("trace: stream does not start with a header chunk (kind %d)", first.Kind)
+	}
+	hdr := first.Header
+	t := &Trace{
+		Model:               hdr.Model,
+		Ops:                 hdr.Ops,
+		VictimWall:          hdr.VictimWall,
+		SpyProbeLaunches:    hdr.SpyProbeLaunches,
+		SpyChannelsRejected: hdr.SpyChannelsRejected,
+		Reanchors:           hdr.Reanchors,
+		Health:              hdr.Health,
+	}
+	t.Samples = make([]cupti.Sample, 0, hdr.SampleCount)
+	events := make([]tfsim.TimelineEvent, 0, hdr.EventCount)
+	for {
+		c, err := readChunk(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("trace: truncated stream: %w", err)
+		}
+		switch c.Kind {
+		case chunkSamples:
+			t.Samples = append(t.Samples, c.Samples...)
+		case chunkEvents:
+			for _, rec := range c.Events {
+				ev := tfsim.TimelineEvent{Name: rec.Name, Start: rec.Start, End: rec.End, Iteration: rec.Iteration}
+				if rec.Op >= 0 {
+					if rec.Op >= len(t.Ops) {
+						return nil, fmt.Errorf("trace: event op index %d outside op table of %d", rec.Op, len(t.Ops))
+					}
+					ev.Op = &t.Ops[rec.Op]
+				}
+				events = append(events, ev)
+			}
+		case chunkEnd:
+			if len(t.Samples) != hdr.SampleCount {
+				return nil, fmt.Errorf("trace: stream carried %d samples, header promised %d", len(t.Samples), hdr.SampleCount)
+			}
+			if len(events) != hdr.EventCount {
+				return nil, fmt.Errorf("trace: stream carried %d timeline events, header promised %d", len(events), hdr.EventCount)
+			}
+			t.Timeline = tfsim.TimelineFromEvents(events)
+			return t, nil
+		default:
+			return nil, fmt.Errorf("trace: unknown chunk kind %d", c.Kind)
+		}
+	}
+}
+
+// ReadTraces decodes every trace from a concatenated stream until EOF.
+func ReadTraces(r io.Reader) ([]*Trace, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	var out []*Trace
+	for {
+		if _, err := br.Peek(1); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, err
+		}
+		t, err := readOne(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: trace %d: %w", len(out), err)
+		}
+		out = append(out, t)
+	}
+}
+
+// WriteTraces serializes a collection back to back onto w.
+func WriteTraces(w io.Writer, traces []*Trace) error {
+	for i, t := range traces {
+		if _, err := t.WriteTo(w); err != nil {
+			return fmt.Errorf("trace: trace %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ package trace
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"leakydnn/internal/chaos"
 	"leakydnn/internal/cupti"
@@ -38,13 +39,17 @@ type RunConfig struct {
 	// BackgroundTenants are additional co-located training processes (the
 	// paper's "more than two users" setting, §VI limitation 5). Each runs
 	// endlessly on its own context, adding scheduling non-determinism that
-	// degrades the spy's view.
+	// degrades the spy's view. Under a SchedPlan with churn, this is the
+	// roster tenants leave from and the template cycle joiners are cloned
+	// from.
 	BackgroundTenants []dnn.Model
 	// Chaos injects measurement-path faults (dropped/duplicated samples,
 	// counter jitter and saturation, arming failures, preemption gaps, clock
-	// skew, truncation). The zero plan injects nothing and leaves the run
-	// byte-identical to a fault-free collection; the injector draws from its
-	// own seeded RNG stream, never the engine's.
+	// skew, truncation) and — via Chaos.Sched — scheduling-layer faults
+	// (victim stalls, driver resets of the spy context, co-tenant churn).
+	// The zero plan injects nothing and leaves the run byte-identical to a
+	// fault-free collection; both injectors draw from their own seeded RNG
+	// streams, never the engine's.
 	Chaos chaos.Plan
 }
 
@@ -63,6 +68,13 @@ type Trace struct {
 	// SpyChannelsRejected counts slow-down channels a hardened scheduler
 	// refused to register (the disarmed slow-down attack of §VI).
 	SpyChannelsRejected int
+	// Reanchors are the re-anchor markers the spy's recovery layer emitted:
+	// the first-relaunch time after each survived driver reset. Samples
+	// before and after a marker belong to independent trace segments — the
+	// spy lost its context in between — so alignment and iteration
+	// splitting must not treat the stream as one contiguous run. Empty on
+	// runs without scheduler faults.
+	Reanchors []gpu.Nanos
 	// Health is the co-run's degradation report: per-cause fault accounting
 	// and iteration coverage. Always populated, even on clean runs.
 	Health *Health
@@ -85,16 +97,24 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Fault injection owns a private RNG stream: a non-zero plan perturbs the
-	// measurement path but never the engine's scheduling randomness, and the
-	// zero plan builds no injector at all, keeping clean runs byte-identical.
+	// Fault injection owns private RNG streams: a non-zero plan perturbs the
+	// measurement path (and/or the scheduling layer) but never the engine's
+	// scheduling randomness, and a zero plan builds no injector at all,
+	// keeping clean runs byte-identical.
 	var inj *chaos.Injector
-	if !cfg.Chaos.IsZero() {
+	if !cfg.Chaos.MeasurementIsZero() {
 		inj, err = chaos.NewInjector(cfg.Chaos, cfg.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("trace: %w", err)
 		}
 		cfg.Spy.Faults = inj
+	}
+	var sched *chaos.SchedInjector
+	if !cfg.Chaos.Sched.IsZero() {
+		sched, err = chaos.NewSchedInjector(cfg.Chaos.Sched, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
 	}
 	prog, err := spy.NewProgram(cfg.Spy)
 	if err != nil {
@@ -104,6 +124,13 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 	eng, err := gpu.NewEngine(cfg.Device, rng)
 	if err != nil {
 		return nil, err
+	}
+	if sched != nil {
+		// Tenant churn adds and removes channels mid-run; with the shared
+		// RNG stream that would perturb every other context's noise draws.
+		// Per-context streams keep the victim's and spy's randomness a pure
+		// function of their own slice sequence.
+		eng.IsolateContextStreams(cfg.Seed)
 	}
 
 	tl := &tfsim.Timeline{}
@@ -123,7 +150,16 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 	// Ground-truth channels must never be dropped: a hardened scheduler
 	// rejecting the victim or a tenant would silently produce a trace of a
 	// different co-location than the one requested.
-	if !eng.AddChannel(VictimCtx, sess.Source()) {
+	victimSrc := gpu.Source(sess.Source())
+	if sched != nil {
+		victimSrc = &stalledSource{
+			inner:      victimSrc,
+			opsPerIter: sess.OpsPerIteration(),
+			iterDur:    sess.IterationDuration(),
+			inj:        sched,
+		}
+	}
+	if !eng.AddChannel(VictimCtx, victimSrc) {
 		return nil, fmt.Errorf("trace: scheduler rejected the victim channel (ctx %d, MaxChannelsPerCtx=%d)",
 			VictimCtx, cfg.Device.MaxChannelsPerCtx)
 	}
@@ -167,9 +203,92 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 		}
 		horizon = 100*per*iters + gpu.Second
 	}
+	// Scheduler faults are drawn once over the estimated clean run length (a
+	// fixed prefix of the injector's RNG stream, so stall draws during the run
+	// cannot move the event times) and applied as the run loop crosses them.
+	var events []chaos.SchedEvent
+	if sched != nil {
+		est := horizon
+		per := sess.IterationDuration() + cfg.Session.IterGap
+		iters := gpu.Nanos(cfg.Session.Iterations)
+		if per > 0 && iters > 0 && per <= math.MaxInt64/iters && per*iters < est {
+			est = per * iters
+		}
+		events = sched.Schedule(0, est)
+	}
+	var (
+		outages   []outage
+		reanchors []gpu.Nanos
+		nextEvent int
+		joined    int
+		left      int
+		// Churn joiners get fresh contexts past the initial roster so a join
+		// after a leave never aliases a detached context id.
+		joinCtx = SpyCtx + 1 + gpu.ContextID(len(cfg.BackgroundTenants))
+	)
+	applyEvent := func(ev chaos.SchedEvent) error {
+		switch ev.Kind {
+		case chaos.SchedReset:
+			// Driver reset: the spy's context is torn down — channels
+			// detached, residency flushed, in-flight slice lost. The watchdog
+			// notices the dead sample stream and re-arms through the capped
+			// backoff path; the first relaunch time is the re-anchor marker.
+			sched.NoteReset()
+			resetAt := eng.Now()
+			eng.DetachContext(cfg.Spy.Ctx)
+			rearmAt, ok := prog.Recover(eng, resetAt)
+			if ok {
+				sched.NoteResetSurvived()
+				outages = append(outages, outage{from: resetAt, to: rearmAt})
+				reanchors = append(reanchors, rearmAt)
+			} else {
+				// Re-arm exhausted its retries: the spy is blind for the rest
+				// of the run and every later window is recovery loss.
+				outages = append(outages, outage{from: resetAt, to: math.MaxInt64})
+			}
+		case chaos.SchedTenantJoin:
+			tmpl := m
+			if len(cfg.BackgroundTenants) > 0 {
+				tmpl = cfg.BackgroundTenants[joined%len(cfg.BackgroundTenants)]
+			}
+			tsess, terr := tfsim.NewSession(tmpl, tfsim.Config{
+				Iterations: 1 << 30,
+				IterGap:    cfg.Session.IterGap,
+			}, cfg.Device)
+			if terr != nil {
+				return fmt.Errorf("trace: churn tenant %s: %w", tmpl.Name, terr)
+			}
+			if eng.AddChannel(joinCtx, tsess.Source()) {
+				joinCtx++
+				joined++
+				sched.NoteTenantJoined()
+			}
+		case chaos.SchedTenantLeave:
+			// Only initially attached tenants leave; draws beyond the roster
+			// are dropped (and therefore not counted as applied churn).
+			if left < len(cfg.BackgroundTenants) {
+				ctx := SpyCtx + 1 + gpu.ContextID(left)
+				left++
+				if eng.DetachContext(ctx) > 0 {
+					sched.NoteTenantLeft()
+				}
+			}
+		}
+		return nil
+	}
 	step := sess.IterationDuration()/4 + gpu.Millisecond
 	for victimDone < totalOps && eng.Now() < horizon {
-		eng.Run(eng.Now() + step)
+		next := eng.Now() + step
+		if nextEvent < len(events) && events[nextEvent].At < next {
+			next = events[nextEvent].At
+		}
+		eng.Run(next)
+		for nextEvent < len(events) && events[nextEvent].At <= eng.Now() {
+			if err := applyEvent(events[nextEvent]); err != nil {
+				return nil, err
+			}
+			nextEvent++
+		}
 	}
 	if victimDone < totalOps {
 		return nil, fmt.Errorf("trace: victim completed %d/%d ops before horizon %v",
@@ -195,9 +314,29 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 		SpyArmRetries:       prog.ArmRetries(),
 		SpyArmFailures:      prog.ArmFailures(),
 	}
+	if len(outages) > 0 {
+		// Windows overlapping a reset outage carry no signal (the spy had no
+		// context): discard them as recovery loss before measurement faults
+		// get a chance to duplicate or jitter them.
+		kept := samples[:0]
+		lost := 0
+		for _, s := range samples {
+			if sampleInOutage(s, outages) {
+				lost++
+				continue
+			}
+			kept = append(kept, s)
+		}
+		samples = kept
+		sched.NoteSamplesLost(lost)
+	}
 	if inj != nil {
 		samples = inj.Apply(samples)
 		health.Faults = inj.Stats()
+	}
+	if sched != nil {
+		health.Sched = sched.Stats()
+		health.Reanchors = len(reanchors)
 	}
 	health.SamplesDelivered = len(samples)
 
@@ -209,10 +348,73 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 		VictimWall:          wall,
 		SpyProbeLaunches:    prog.ProbeLaunches(),
 		SpyChannelsRejected: prog.RejectedChannels(),
+		Reanchors:           reanchors,
 		Health:              health,
 	}
 	t.computeIterationHealth(health, cfg.Session.Iterations)
 	return t, nil
+}
+
+// stalledSource wraps the victim's kernel source and defers each iteration's
+// first launch by a seeded host input-pipeline stall. The wrapper counts
+// handed-out kernels itself so it needs nothing from the session beyond its
+// per-iteration shape.
+type stalledSource struct {
+	inner      gpu.Source
+	opsPerIter int
+	iterDur    gpu.Nanos
+	inj        *chaos.SchedInjector
+	handed     int
+}
+
+// Next implements gpu.Source.
+func (s *stalledSource) Next(now gpu.Nanos) (gpu.KernelProfile, gpu.Nanos, bool) {
+	k, notBefore, ok := s.inner.Next(now)
+	if !ok {
+		return k, notBefore, ok
+	}
+	if s.opsPerIter > 0 && s.handed%s.opsPerIter == 0 {
+		notBefore += s.inj.StallBefore(s.iterDur)
+	}
+	s.handed++
+	return k, notBefore, ok
+}
+
+// outage is a half-open interval [from, to) during which the spy had no
+// context on the device.
+type outage struct {
+	from, to gpu.Nanos
+}
+
+func sampleInOutage(s cupti.Sample, outages []outage) bool {
+	for _, o := range outages {
+		if s.Start < o.to && s.End > o.from {
+			return true
+		}
+	}
+	return false
+}
+
+// SegmentBounds maps re-anchor markers onto the (possibly fault-degraded)
+// sample stream: each returned index is the first sample starting at or after
+// a marker, so samples[b[k-1]:b[k]] (with implicit bounds 0 and len(samples))
+// are the independent segments the spy observed between context losses.
+// Markers that land before the first or after the last sample, or that
+// collapse onto a previous cut, produce no boundary. Samples must be in start
+// order, as Collect emits them.
+func SegmentBounds(samples []cupti.Sample, reanchors []gpu.Nanos) []int {
+	var cuts []int
+	for _, r := range reanchors {
+		i := sort.Search(len(samples), func(i int) bool { return samples[i].Start >= r })
+		if i <= 0 || i >= len(samples) {
+			continue
+		}
+		if len(cuts) > 0 && i <= cuts[len(cuts)-1] {
+			continue
+		}
+		cuts = append(cuts, i)
+	}
+	return cuts
 }
 
 // Label is the ground truth attached to one CUPTI sample.

@@ -126,21 +126,41 @@ type (
 
 // Fault injection: deterministic measurement-path chaos (dropped/duplicated
 // samples, counter jitter, arming failures, preemption gaps, clock skew,
-// truncation). Set TraceConfig.Chaos or Scale.Chaos; the zero plan keeps
-// every run byte-identical to a clean collection.
+// truncation) and scheduler-side chaos (victim stalls, driver resets, tenant
+// churn). Set TraceConfig.Chaos or Scale.Chaos (ChaosPlan.Sched for the
+// scheduling layer); the zero plan keeps every run byte-identical to a clean
+// collection.
 type (
 	// ChaosPlan configures the fault injector.
 	ChaosPlan = chaos.Plan
 	// ChaosStats is the injector's per-cause fault accounting.
 	ChaosStats = chaos.Stats
+	// SchedChaosPlan perturbs the scheduling layer the side channel rides on.
+	SchedChaosPlan = chaos.SchedPlan
+	// SchedChaosStats is the scheduler-fault accounting of one co-run.
+	SchedChaosStats = chaos.SchedStats
 )
 
-// ChaosAt returns the canonical fault blend at an intensity in [0, 1].
-var ChaosAt = chaos.At
+// ChaosAt returns the canonical measurement-fault blend at an intensity in
+// [0, 1]; SchedChaosAt the canonical scheduler-fault mix.
+var (
+	ChaosAt      = chaos.At
+	SchedChaosAt = chaos.SchedAt
+)
 
 // CollectTrace co-runs the spy against a victim model under the time-sliced
 // scheduler and returns the aligned trace.
 var CollectTrace = trace.Collect
+
+// Streaming trace serialization: WriteTraces streams a collection as
+// length-prefixed gob chunks (traces written back to back form one file),
+// ReadTraces restores it; ReadTrace decodes a single trace. Trace.WriteTo
+// serializes one trace and implements io.WriterTo.
+var (
+	WriteTraces = trace.WriteTraces
+	ReadTraces  = trace.ReadTraces
+	ReadTrace   = trace.ReadTrace
+)
 
 // Attack pipeline.
 type (
