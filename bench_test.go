@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"leakydnn/internal/attack"
 	"leakydnn/internal/eval"
@@ -322,9 +323,13 @@ func BenchmarkAblationWeightedLoss(b *testing.B) {
 }
 
 // BenchmarkEngineThroughput measures raw simulator speed: scheduler grants
-// per second under a contended two-context workload.
+// per second under a contended two-context workload. The slices/sec metric is
+// the engine's headline throughput number — wall-clock spent per simulated
+// scheduler grant.
 func BenchmarkEngineThroughput(b *testing.B) {
 	cfg := gpu.DefaultDeviceConfig()
+	totalSlices := 0
+	start := time.Now()
 	for i := 0; i < b.N; i++ {
 		eng, err := gpu.NewEngine(cfg, rand.New(rand.NewSource(1)))
 		if err != nil {
@@ -342,6 +347,10 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		if slices == 0 {
 			b.Fatal("no slices simulated")
 		}
+		totalSlices += slices
+	}
+	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(totalSlices)/elapsed, "slices/sec")
 	}
 }
 
@@ -379,6 +388,28 @@ func benchCollectWorkers(b *testing.B, workers int) {
 
 func BenchmarkCollectTracesWorkers1(b *testing.B) { benchCollectWorkers(b, 1) }
 func BenchmarkCollectTracesWorkers4(b *testing.B) { benchCollectWorkers(b, 4) }
+
+// benchWorkbench builds the full pipelined Workbench — profiled and tested
+// collection on one shared pool, training overlapped with the tested set —
+// under a fixed worker budget. Comparing the Workers1/Workers4 variants
+// measures the pipeline overlap (expect gains on a multi-core runner, and
+// byte-identical results at any setting).
+func benchWorkbench(b *testing.B, workers int) {
+	sc := benchScale()
+	sc.Workers = workers
+	for i := 0; i < b.N; i++ {
+		w, err := eval.NewWorkbench(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if w.Models == nil || len(w.Tested) != len(sc.Tested) {
+			b.Fatal("incomplete workbench")
+		}
+	}
+}
+
+func BenchmarkWorkbenchWorkers1(b *testing.B) { benchWorkbench(b, 1) }
+func BenchmarkWorkbenchWorkers4(b *testing.B) { benchWorkbench(b, 4) }
 
 // benchTrainModels runs the full MoSConS training under a fixed worker-pool
 // size, with trace collection outside the timer. Comparing the

@@ -1,0 +1,96 @@
+// Command benchjson converts `go test -bench` output into a machine-readable
+// JSON report: one entry per benchmark with its iteration count and every
+// metric the line carries (ns/op, B/op, allocs/op, and custom metrics such as
+// slices/sec). CI commits the result (BENCH_N.json) so successive PRs leave a
+// comparable performance trajectory behind.
+//
+// Usage:
+//
+//	go test -run=NONE -bench ... -benchmem | go run ./cmd/benchjson -out BENCH_5.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Report is the top-level JSON document.
+type Report struct {
+	Go         string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// benchLine matches "BenchmarkName-8   10   123.4 ns/op   ..." — the name
+// (with an optional -GOMAXPROCS suffix), the iteration count, and the rest of
+// the line holding whitespace-separated value/unit metric pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	report := Report{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if len(b.Metrics) > 0 {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

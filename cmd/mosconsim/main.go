@@ -129,6 +129,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		t := w.Timings
+		fmt.Fprintf(os.Stderr, "workbench ready: collect %.2fs, train %.2fs (overlapped), wall %.2fs\n",
+			t.Collect.Seconds(), t.Train.Seconds(), t.Wall.Seconds())
 		models = w.Models
 		tested = w.Tested
 	}

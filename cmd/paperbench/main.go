@@ -11,6 +11,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"leakydnn/internal/eval"
 )
@@ -65,11 +66,21 @@ func run() error {
 		fmt.Println("[training MoSConS models — shared across experiments]")
 		var err error
 		w, err = eval.NewWorkbench(sc)
+		if err == nil {
+			// Collect and Train overlap in the pipelined construction, so
+			// their sum exceeds the wall-clock whenever the overlap paid off.
+			// Timings go to stderr: stdout must stay byte-identical across
+			// runs and worker counts (the determinism contract users diff).
+			t := w.Timings
+			fmt.Fprintf(os.Stderr, "[workbench phases: collect %.2fs | train %.2fs (overlapped) | wall %.2fs]\n",
+				t.Collect.Seconds(), t.Train.Seconds(), t.Wall.Seconds())
+		}
 		return w, err
 	}
 
 	for _, name := range selected {
 		fmt.Printf("\n===== %s (%s scale) =====\n", name, sc.Name)
+		expStart := time.Now()
 		switch strings.TrimSpace(name) {
 		case "table1":
 			res, err := eval.Table1(sc, *samples)
@@ -253,6 +264,7 @@ func run() error {
 			return fmt.Errorf("unknown experiment %q (available: all, %s)",
 				name, strings.Join(experiments, ", "))
 		}
+		fmt.Fprintf(os.Stderr, "[%s: evaluate %.2fs]\n", strings.TrimSpace(name), time.Since(expStart).Seconds())
 	}
 	return nil
 }

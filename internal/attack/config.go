@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"leakydnn/internal/gbdt"
+	"leakydnn/internal/par"
 )
 
 // Config holds every attack hyper-parameter, with the paper's values as
@@ -56,6 +57,22 @@ type Config struct {
 	// number of workers. Any value produces byte-identical models; 1 trains
 	// serially, <= 0 selects runtime.GOMAXPROCS.
 	Workers int
+
+	// pool, when set via WithPool, makes the head-level training fan-out draw
+	// its execution slots from a budget shared with the caller's other
+	// fan-outs (trace collection, typically) instead of a private Workers
+	// pool. Unexported so serialized model sets never carry a live pool.
+	pool *par.Pool
+}
+
+// WithPool returns a copy of c whose head-level training fan-out shares the
+// execution-slot budget p with the caller's other fan-outs, so an overlapped
+// pipeline stays bounded by one concurrency knob. The pool only schedules:
+// trained models are byte-identical with or without it. A nil p restores the
+// private Workers pool.
+func (c Config) WithPool(p *par.Pool) Config {
+	c.pool = p
+	return c
 }
 
 // DefaultConfig returns the paper's attack parameters.

@@ -91,12 +91,20 @@ func TrainModels(traces []*trace.Trace, cfg Config) (*Models, error) {
 	return m, nil
 }
 
-// runTrainers executes the independent trainers on the worker pool and merges
-// their report entries in fixed task order.
+// runTrainers executes the independent trainers on the worker pool — the
+// shared pipeline pool when the configuration carries one, a private Workers
+// pool otherwise — and merges their report entries in fixed task order.
 func (m *Models) runTrainers(trainers []func() (map[string]float64, error)) error {
-	reports, err := par.Map(m.Cfg.Workers, len(trainers), func(i int) (map[string]float64, error) {
+	run := func(i int) (map[string]float64, error) {
 		return trainers[i]()
-	})
+	}
+	var reports []map[string]float64
+	var err error
+	if m.Cfg.pool != nil {
+		reports, err = par.MapOn(m.Cfg.pool, len(trainers), run)
+	} else {
+		reports, err = par.Map(m.Cfg.Workers, len(trainers), run)
+	}
 	if err != nil {
 		return err
 	}

@@ -46,6 +46,22 @@ func TestCleanCollectionMatchesGoldenHash(t *testing.T) {
 	}
 }
 
+// The lazy-decay fast path in the engine's residency model can only diverge
+// from the historical eager sweep while L2 capacity pressure is actively
+// rescaling, which never happens at the tiny scale (spy and victim working
+// sets shrink with the time scale, L2 does not). Both paths must therefore
+// land on the same bytes — and, via TestCleanCollectionMatchesGoldenHash, on
+// the golden hash — so the fast default changes extraction accuracy by
+// exactly nothing here.
+func TestExactResidencyTotalMatchesFastPath(t *testing.T) {
+	fast := hashTraces(t, Tiny())
+	sc := Tiny()
+	sc.Device.ExactResidencyTotal = true
+	if exact := hashTraces(t, sc); exact != fast {
+		t.Fatalf("exact-summation and fast residency paths diverged at tiny scale:\nexact %s\nfast  %s", exact, fast)
+	}
+}
+
 // A non-zero chaos plan must actually change the collected traces — otherwise
 // the golden test above proves nothing about the zero-plan path.
 func TestChaoticCollectionDiffersFromGolden(t *testing.T) {

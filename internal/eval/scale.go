@@ -7,6 +7,7 @@ package eval
 
 import (
 	"fmt"
+	"time"
 
 	"leakydnn/internal/attack"
 	"leakydnn/internal/chaos"
@@ -168,6 +169,19 @@ func (sc Scale) CollectTraces(models []dnn.Model, seedBase int64) ([]*trace.Trac
 	})
 }
 
+// PhaseTimings breaks the Workbench construction wall-clock into its
+// overlapped phases. Collect spans from construction start until the last
+// trace (profiled or tested) landed; Train is TrainModels' own wall time,
+// which overlaps Collect because training starts as soon as the profiled set
+// is in, while the tested set is still being collected. Wall is end-to-end
+// construction, strictly below Collect+Train whenever the overlap bought
+// anything.
+type PhaseTimings struct {
+	Collect time.Duration
+	Train   time.Duration
+	Wall    time.Duration
+}
+
 // Workbench couples one trained set of MoSConS models with the tested
 // traces, so Tables VI, VII and IX share a single (expensive) training run.
 type Workbench struct {
@@ -175,22 +189,78 @@ type Workbench struct {
 	Models   *attack.Models
 	Profiled []*trace.Trace
 	Tested   []*trace.Trace
+	// Timings records how construction spent its wall-clock.
+	Timings PhaseTimings
 }
 
 // NewWorkbench collects the profiled and tested traces and trains the full
-// MoSConS model set.
+// MoSConS model set, as one overlapped pipeline on a single shared worker
+// budget: profiled and tested collection fan out on the same pool, and model
+// training starts the moment the profiled traces are complete rather than
+// waiting for the tested set. Every task owns its own seeded engine or model
+// head and every reduction is in fixed task order, so the result is
+// byte-identical to the serial workers=1 construction for any Workers value.
 func NewWorkbench(sc Scale) (*Workbench, error) {
-	profiled, err := sc.CollectTraces(sc.Profiled, sc.Seed+100)
-	if err != nil {
-		return nil, err
+	start := time.Now()
+	pool := par.NewPool(sc.Workers)
+	collect := func(models []dnn.Model, seedBase int64) ([]*trace.Trace, error) {
+		return par.MapOn(pool, len(models), func(i int) (*trace.Trace, error) {
+			tr, err := trace.Collect(models[i], sc.RunConfig(seedBase+int64(i), true))
+			if err != nil {
+				return nil, fmt.Errorf("eval: collect %s: %w", models[i].Name, err)
+			}
+			return tr, nil
+		})
 	}
-	tested, err := sc.CollectTraces(sc.Tested, sc.Seed+900)
-	if err != nil {
-		return nil, err
+
+	var (
+		profiled  []*trace.Trace
+		models    *attack.Models
+		profErr   error
+		trainErr  error
+		profDone  time.Time
+		trainWall time.Duration
+		trained   = make(chan struct{})
+	)
+	go func() {
+		defer close(trained)
+		profiled, profErr = collect(sc.Profiled, sc.Seed+100)
+		profDone = time.Now()
+		if profErr != nil {
+			return
+		}
+		trainStart := time.Now()
+		models, trainErr = attack.TrainModels(profiled, sc.AttackConfig().WithPool(pool))
+		trainWall = time.Since(trainStart)
+	}()
+	tested, testedErr := collect(sc.Tested, sc.Seed+900)
+	testedDone := time.Now()
+	<-trained
+
+	// Error precedence matches the historical serial construction: profiled
+	// collection first, then tested collection, then training.
+	if profErr != nil {
+		return nil, profErr
 	}
-	models, err := attack.TrainModels(profiled, sc.AttackConfig())
-	if err != nil {
-		return nil, err
+	if testedErr != nil {
+		return nil, testedErr
 	}
-	return &Workbench{Scale: sc, Models: models, Profiled: profiled, Tested: tested}, nil
+	if trainErr != nil {
+		return nil, trainErr
+	}
+	collectDone := testedDone
+	if profDone.After(collectDone) {
+		collectDone = profDone
+	}
+	return &Workbench{
+		Scale:    sc,
+		Models:   models,
+		Profiled: profiled,
+		Tested:   tested,
+		Timings: PhaseTimings{
+			Collect: collectDone.Sub(start),
+			Train:   trainWall,
+			Wall:    time.Since(start),
+		},
+	}, nil
 }

@@ -83,6 +83,15 @@ type DeviceConfig struct {
 	// channel multiplication.
 	MaxChannelsPerCtx int
 
+	// ExactResidencyTotal selects the historical O(total-channels) eager
+	// eviction sweep in the L2 residency model instead of the O(1) lazy-decay
+	// fast path. Per-channel residency trajectories are bit-identical either
+	// way; the two differ only in how the capacity-pressure total accumulates
+	// floating-point rounding (a fresh in-order summation vs. a running
+	// recurrence), which matters only while the rescale is actually firing.
+	// Set it for runs pinned by golden byte-hashes that oversubscribe L2.
+	ExactResidencyTotal bool
+
 	// RunlistSlotsPerCtx bounds how many of one context's channels receive
 	// a slice per scheduling pass; surplus channels wait for later passes.
 	// This is what gives the slow-down attack its upper bound (§IV: "higher

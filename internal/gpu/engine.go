@@ -45,6 +45,11 @@ type KernelSpan struct {
 // occupancy; switching between contexts costs SwitchCost and disturbs L2
 // residency, which the next victim of the disturbance pays for in DRAM
 // refetch traffic.
+//
+// The per-slice hot path is O(live channels): retired channels leave the
+// scheduling ring, and the cross-channel residency erosion is kept in ordered
+// lazy-decay logs that a channel replays only when it is next granted, instead
+// of an eager sweep over every channel ever attached.
 type Engine struct {
 	cfg DeviceConfig
 	rng *rand.Rand
@@ -56,12 +61,17 @@ type Engine struct {
 	isoSeed  int64
 	ctxRng   map[ContextID]*rand.Rand
 
+	// channels holds every channel ever attached, in attach order. Retired
+	// channels stay here — their residual L2 footprint keeps exerting
+	// capacity pressure ("ghost residency") exactly as it did under the eager
+	// sweep — but they are removed from the scheduling ring below.
 	channels []*channel
-	// cursor is the round-robin ring position: the index of the next channel
-	// pickRunnable inspects. Advancing it replaces the old physical slice
-	// rotation (an O(n) copy per candidate) while visiting channels in the
-	// same order.
-	cursor  int
+	// live is the compacted round-robin ring: exactly the non-retired
+	// channels, in attach order. cursor is the ring position of the next
+	// channel pickRunnable inspects.
+	live   []*channel
+	cursor int
+
 	now     Nanos
 	lastCtx ContextID
 
@@ -70,6 +80,27 @@ type Engine struct {
 	passServed map[ContextID]int
 	passCount  int
 
+	// l2Log is the ordered lazy-decay log of the L2 residency model: every
+	// slice whose streamed traffic eroded other channels (or whose capacity
+	// pressure rescaled everyone) appends one step. A channel's l2Epoch is
+	// the absolute log index (l2Base + offset) up to which its stored
+	// residency is current; catchUpL2 replays the missed steps in order,
+	// which performs the exact same float multiplications in the exact same
+	// order as the historical eager sweep. texLog/texEpoch are the
+	// texture-cache analogue (decay-only; the texture model has no capacity
+	// rescale).
+	l2Log   []resStep
+	l2Base  int
+	texLog  []float64
+	texBase int
+
+	// totalResident tracks the sum of every channel's L2 residency (live and
+	// ghost) so the capacity-pressure test is O(1) per slice. It follows the
+	// same recurrence as the eager sweep's fresh summation but accumulates
+	// rounding differently; DeviceConfig.ExactResidencyTotal switches back to
+	// the eager bit-exact sweep.
+	totalResident float64
+
 	// OnSlice, if set, observes every scheduler grant.
 	OnSlice func(SliceRecord)
 	// OnKernelEnd, if set, observes every kernel completion.
@@ -77,6 +108,22 @@ type Engine struct {
 
 	busy map[ContextID]Nanos // accumulated execution time per context
 }
+
+// resStep is one entry of the L2 lazy-decay log: the slice's survival factor
+// (1 - evictFrac) for every non-granted channel, then the capacity-pressure
+// rescale applied to every channel (1 when the rescale did not fire — a real
+// rescale is always strictly below 1).
+type resStep struct {
+	decay float64
+	scale float64
+}
+
+// maxResLog bounds the decay logs: when one grows past this, every channel is
+// caught up (a bit-exact replay) and the log prefix is dropped. The sweep is
+// amortized O(1) per slice, and a retired channel's residency underflows to
+// zero after a bounded number of replayed steps, after which catch-up is a
+// constant-time epoch jump.
+const maxResLog = 4096
 
 // refetchRateFactor bounds how much faster than its steady-state read rate a
 // kernel can re-warm its evicted working set: re-fetches are demand misses,
@@ -87,20 +134,34 @@ type channel struct {
 	ctx    ContextID
 	source Source
 
-	current   *KernelProfile
+	// current is the in-flight kernel (valid when hasKernel). Stored by value
+	// so refill performs no heap allocation per launch.
+	current   KernelProfile
+	hasKernel bool
+	// occ/readRate/writeRate/texRate memoize Occupancy and TrafficRates for
+	// the current kernel. They are pure in (kernel, device config), so
+	// computing them once per refill instead of once per slice is bit-exact.
+	occ       float64
+	readRate  float64
+	writeRate float64
+	texRate   float64
+
 	remaining Nanos // remaining exclusive-device execution time
 	started   Nanos // wall-clock start of the current kernel
 	notBefore Nanos
 	done      bool
 
-	// resident is the channel's working set currently held in L2. Other
-	// channels' streaming traffic erodes it; the deficit is repaid as
-	// counter-visible DRAM refetch traffic when the channel next runs.
+	// resident is the channel's working set currently held in L2, valid as
+	// of log position l2Epoch. Other channels' streaming traffic erodes it;
+	// the deficit is repaid as counter-visible DRAM refetch traffic when the
+	// channel next runs.
 	resident float64
-	// texResident is the analogous texture-cache state; only texture-path
-	// kernels (convolutions) erode it, making its refetch a conv-specific
-	// fingerprint.
+	l2Epoch  int
+	// texResident is the analogous texture-cache state as of texEpoch; only
+	// texture-path kernels (convolutions) erode it, making its refetch a
+	// conv-specific fingerprint.
 	texResident float64
+	texEpoch    int
 }
 
 // NewEngine builds a time-sliced engine over cfg. The rng drives slice
@@ -133,8 +194,8 @@ func NewEngine(cfg DeviceConfig, rng *rand.Rand) (*Engine, error) {
 func (e *Engine) AddChannel(ctx ContextID, src Source) bool {
 	if e.cfg.MaxChannelsPerCtx > 0 && ctx != e.cfg.ProtectedCtx {
 		count := 0
-		for _, ch := range e.channels {
-			if ch.ctx == ctx && !ch.done {
+		for _, ch := range e.live {
+			if ch.ctx == ctx {
 				count++
 			}
 		}
@@ -142,7 +203,14 @@ func (e *Engine) AddChannel(ctx ContextID, src Source) bool {
 			return false
 		}
 	}
-	e.channels = append(e.channels, &channel{ctx: ctx, source: src})
+	ch := &channel{
+		ctx:      ctx,
+		source:   src,
+		l2Epoch:  e.l2Base + len(e.l2Log),
+		texEpoch: e.texBase + len(e.texLog),
+	}
+	e.channels = append(e.channels, ch)
+	e.live = append(e.live, ch)
 	return true
 }
 
@@ -186,9 +254,12 @@ func (e *Engine) DetachContext(ctx ContextID) int {
 			continue
 		}
 		ch.done = true
-		ch.current = nil
+		ch.hasKernel = false
 		ch.remaining = 0
 		n++
+	}
+	if n > 0 {
+		e.compactLive()
 	}
 	e.InvalidateResidency(ctx)
 	return n
@@ -199,11 +270,23 @@ func (e *Engine) DetachContext(ctx ContextID) int {
 // pays full warm-up refetch traffic, exactly like a context whose state a
 // reset destroyed.
 func (e *Engine) InvalidateResidency(ctx ContextID) {
+	l2End := e.l2Base + len(e.l2Log)
+	texEnd := e.texBase + len(e.texLog)
 	for _, ch := range e.channels {
-		if ch.ctx == ctx {
-			ch.resident = 0
-			ch.texResident = 0
+		if ch.ctx != ctx {
+			continue
 		}
+		// Bring the stored value current first so the running total sheds
+		// exactly this channel's present-day contribution.
+		e.catchUpL2(ch)
+		e.totalResident -= ch.resident
+		ch.resident = 0
+		ch.l2Epoch = l2End
+		ch.texResident = 0
+		ch.texEpoch = texEnd
+	}
+	if e.totalResident < 0 {
+		e.totalResident = 0
 	}
 }
 
@@ -256,23 +339,36 @@ func (e *Engine) Run(until Nanos) {
 	}
 }
 
-// pickRunnable selects the next channel round-robin. If no channel is
-// runnable now but some are waiting on notBefore, time advances to the
-// earliest wake-up (capped at until). Returns nil when all channels retired
-// or the horizon was reached while idle.
+// pickRunnable selects the next channel round-robin over the live ring. If no
+// channel is runnable now but some are waiting on notBefore, time advances to
+// the earliest wake-up (capped at until). Returns nil when all channels
+// retired or the horizon was reached while idle.
 func (e *Engine) pickRunnable(until Nanos) *channel {
 	for {
 		var earliest Nanos = -1
 		anyAlive := false
 		capSkipped := false
-		for range e.channels {
-			ch := e.rotate()
-			if ch.done {
+		// One pass visits each ring slot exactly once: a channel that
+		// retires is unlinked in place (the next element slides into the
+		// cursor slot), so the walk neither skips nor revisits anyone.
+		for pass := len(e.live); pass > 0; pass-- {
+			if len(e.live) == 0 {
+				break
+			}
+			if e.cursor >= len(e.live) {
+				e.cursor = 0
+			}
+			ch := e.live[e.cursor]
+			anyAlive = true
+			if !ch.hasKernel && !e.refill(ch) {
+				// Source exhausted: the channel leaves the scheduling ring
+				// for good (its ghost residency stays in the decay model).
+				e.unlinkLive(e.cursor)
 				continue
 			}
-			anyAlive = true
-			if ch.current == nil && !e.refill(ch) {
-				continue
+			e.cursor++
+			if e.cursor == len(e.live) {
+				e.cursor = 0
 			}
 			if e.cfg.RunlistSlotsPerCtx > 0 && e.passServed[ch.ctx] >= e.cfg.RunlistSlotsPerCtx {
 				// This context exhausted its runlist slots for the pass;
@@ -309,14 +405,16 @@ func (e *Engine) pickRunnable(until Nanos) *channel {
 }
 
 // notePassSlot charges one runlist slot to ctx, resetting the accounting
-// when a full pass over the ring has been served.
+// when a full pass over the live ring has been served. Counting live
+// channels (not every channel ever attached) keeps the pass length honest
+// after DetachContext or source exhaustion shrinks the ring.
 func (e *Engine) notePassSlot(ctx ContextID) {
 	if e.cfg.RunlistSlotsPerCtx <= 0 {
 		return
 	}
 	e.passServed[ctx]++
 	e.passCount++
-	if e.passCount >= len(e.channels) {
+	if e.passCount >= len(e.live) {
 		e.passCount = 0
 		for id := range e.passServed {
 			e.passServed[id] = 0
@@ -324,30 +422,60 @@ func (e *Engine) notePassSlot(ctx ContextID) {
 	}
 }
 
-// rotate returns the channel at the ring cursor and advances the cursor,
-// preserving the exact round-robin visit order of the former physical
-// rotation. Channels must all be attached before Run: a channel added
-// mid-simulation joins the ring at the slice tail rather than behind the
-// cursor.
-func (e *Engine) rotate() *channel {
-	ch := e.channels[e.cursor]
-	e.cursor++
-	if e.cursor == len(e.channels) {
+// unlinkLive removes the ring entry at index i, keeping the cursor pointing
+// at the same next channel.
+func (e *Engine) unlinkLive(i int) {
+	e.live = append(e.live[:i], e.live[i+1:]...)
+	if e.cursor > i {
+		e.cursor--
+	}
+	if e.cursor >= len(e.live) {
 		e.cursor = 0
 	}
-	return ch
 }
 
-// refill asks the channel's source for its next kernel. Reports whether the
-// channel now has (or is waiting on) a kernel.
+// compactLive drops every retired channel from the ring after a batch
+// retirement (DetachContext), preserving ring order and the cursor's next
+// channel.
+func (e *Engine) compactLive() {
+	kept := e.live[:0]
+	newCursor := 0
+	for i, ch := range e.live {
+		if ch.done {
+			continue
+		}
+		if i < e.cursor {
+			newCursor = len(kept) + 1
+		}
+		kept = append(kept, ch)
+	}
+	e.live = kept
+	if newCursor >= len(kept) {
+		newCursor = 0
+	}
+	e.cursor = newCursor
+}
+
+// refill asks the channel's source for its next kernel, memoizing the
+// kernel's occupancy and traffic rates for the slices to come. Reports
+// whether the channel now has (or is waiting on) a kernel.
 func (e *Engine) refill(ch *channel) bool {
 	k, notBefore, ok := ch.source.Next(e.now)
 	if !ok {
 		ch.done = true
 		return false
 	}
-	ch.current = &k
-	ch.remaining = k.Duration(e.cfg)
+	ch.current = k
+	ch.hasKernel = true
+	d := k.Duration(e.cfg)
+	ch.remaining = d
+	ch.occ = k.Occupancy(e.cfg)
+	// TrafficRates inlined over the same duration value: bit-identical to
+	// calling it per slice, computed once per launch.
+	df := float64(d)
+	ch.readRate = k.ReadBytes / df
+	ch.writeRate = k.WriteBytes / df
+	ch.texRate = k.TexBytes / df
 	ch.notBefore = notBefore
 	if ch.notBefore < e.now {
 		ch.notBefore = e.now
@@ -362,8 +490,6 @@ func (e *Engine) refill(ch *channel) bool {
 // waits for the next Run call, so Run can only overshoot the horizon by one
 // slice's refetch stall.
 func (e *Engine) grantSlice(ch *channel, until Nanos) {
-	k := *ch.current
-
 	if ch.ctx != e.lastCtx && e.lastCtx >= 0 {
 		e.now += e.cfg.SwitchCost
 	}
@@ -380,8 +506,7 @@ func (e *Engine) grantSlice(ch *channel, until Nanos) {
 
 	// Occupancy-scaled slice: full-device kernels earn the full quantum.
 	// The hardened scheduler additionally boosts the protected context.
-	occ := k.Occupancy(e.cfg)
-	slice := Nanos(float64(e.cfg.SliceQuantum) * occ)
+	slice := Nanos(float64(e.cfg.SliceQuantum) * ch.occ)
 	if e.cfg.ProtectedCtx != 0 && ch.ctx == e.cfg.ProtectedCtx && e.cfg.ProtectedBoost > 1 {
 		slice = Nanos(float64(slice) * e.cfg.ProtectedBoost)
 	}
@@ -403,19 +528,19 @@ func (e *Engine) grantSlice(ch *channel, until Nanos) {
 		run = rem
 	}
 
-	refetch := e.touchL2(ch, k, run)
-	texRefetch := e.touchTex(ch, k, run)
+	refetch := e.touchL2(ch, run)
+	texRefetch := e.touchTex(ch, run)
 	stall := Nanos((refetch + texRefetch) / e.cfg.DRAMBytesPerNs)
 
 	rec := SliceRecord{
 		Ctx:             ch.ctx,
-		Kernel:          k,
+		Kernel:          ch.current,
 		Start:           e.now,
 		End:             e.now + run + stall,
 		RefetchBytes:    refetch,
 		TexRefetchBytes: texRefetch,
 	}
-	rec.Counters = e.sliceCounters(k, run, refetch, texRefetch, e.rngFor(ch.ctx))
+	rec.Counters = e.sliceCounters(ch, run, refetch, texRefetch, e.rngFor(ch.ctx))
 
 	e.now = rec.End
 	e.busy[ch.ctx] += run
@@ -424,9 +549,9 @@ func (e *Engine) grantSlice(ch *channel, until Nanos) {
 	if ch.remaining <= 0 {
 		rec.Completed = true
 		if e.OnKernelEnd != nil {
-			e.OnKernelEnd(KernelSpan{Ctx: ch.ctx, Kernel: k, Start: ch.started, End: e.now})
+			e.OnKernelEnd(KernelSpan{Ctx: ch.ctx, Kernel: ch.current, Start: ch.started, End: e.now})
 		}
-		ch.current = nil
+		ch.hasKernel = false
 		ch.notBefore = e.now + e.cfg.LaunchGap
 	}
 	if e.OnSlice != nil {
@@ -434,16 +559,86 @@ func (e *Engine) grantSlice(ch *channel, until Nanos) {
 	}
 }
 
-// touchL2 updates the residency model for a slice of kernel k on channel ch
-// and returns the bytes the channel had to refetch because other channels'
-// streaming traffic evicted its working set since it last ran. Refetch is
-// bounded by what the kernel can actually touch during the slice (a multiple
-// of its read rate times the slice length): a kernel recovering a flushed
-// working set pays for it across several slices, exactly like real cache
-// warm-up.
-func (e *Engine) touchL2(ch *channel, k KernelProfile, run Nanos) float64 {
+// catchUpL2 replays the L2 decay-log steps the channel missed since it was
+// last touched, in order. Each step performs the same multiplications the
+// historical eager sweep would have applied at that slice, so the stored
+// residency is bit-identical to the eager model's. A channel whose residency
+// already decayed to zero skips the replay (0 * f == +0 for every
+// non-negative factor in the log).
+func (e *Engine) catchUpL2(ch *channel) {
+	end := e.l2Base + len(e.l2Log)
+	if ch.l2Epoch >= end {
+		return
+	}
+	if ch.resident == 0 {
+		ch.l2Epoch = end
+		return
+	}
+	for _, s := range e.l2Log[ch.l2Epoch-e.l2Base:] {
+		ch.resident *= s.decay
+		if s.scale != 1 {
+			ch.resident *= s.scale
+		}
+	}
+	ch.l2Epoch = end
+}
+
+// catchUpTex is the texture-cache analogue of catchUpL2.
+func (e *Engine) catchUpTex(ch *channel) {
+	end := e.texBase + len(e.texLog)
+	if ch.texEpoch >= end {
+		return
+	}
+	if ch.texResident == 0 {
+		ch.texEpoch = end
+		return
+	}
+	for _, decay := range e.texLog[ch.texEpoch-e.texBase:] {
+		ch.texResident *= decay
+	}
+	ch.texEpoch = end
+}
+
+// maybeCompactLogs bounds the decay logs' memory: once a log passes
+// maxResLog entries, every channel is caught up (a bit-exact replay of the
+// pending steps) and the log is reset.
+func (e *Engine) maybeCompactLogs() {
+	if len(e.l2Log) >= maxResLog {
+		for _, ch := range e.channels {
+			e.catchUpL2(ch)
+		}
+		e.l2Base += len(e.l2Log)
+		e.l2Log = e.l2Log[:0]
+	}
+	if len(e.texLog) >= maxResLog {
+		for _, ch := range e.channels {
+			e.catchUpTex(ch)
+		}
+		e.texBase += len(e.texLog)
+		e.texLog = e.texLog[:0]
+	}
+}
+
+// touchL2 updates the residency model for a slice of ch's kernel and returns
+// the bytes the channel had to refetch because other channels' streaming
+// traffic evicted its working set since it last ran. Refetch is bounded by
+// what the kernel can actually touch during the slice (a multiple of its
+// read rate times the slice length): a kernel recovering a flushed working
+// set pays for it across several slices, exactly like real cache warm-up.
+//
+// The erosion of the other channels is recorded as one decay-log step
+// instead of an eager sweep; each channel replays its missed steps in order
+// when next touched, which reproduces the eager sweep's per-channel float
+// trajectory bit for bit. The only quantity that cannot be maintained
+// bit-exactly in O(1) is the capacity-pressure total (a fresh in-order
+// summation under the eager sweep, a running recurrence here);
+// cfg.ExactResidencyTotal selects the historical summation for runs pinned
+// by golden hashes.
+func (e *Engine) touchL2(ch *channel, run Nanos) float64 {
+	e.catchUpL2(ch)
+
 	capacity := e.cfg.L2Bytes * e.cfg.L2ResidencyCap
-	demand := k.WorkingSetBytes
+	demand := ch.current.WorkingSetBytes
 	if demand > capacity {
 		demand = capacity
 	}
@@ -451,59 +646,92 @@ func (e *Engine) touchL2(ch *channel, k KernelProfile, run Nanos) float64 {
 	if deficit < 0 {
 		deficit = 0
 	}
-	read, write, _ := k.TrafficRates(e.cfg)
-	touchable := refetchRateFactor * read * float64(run)
+	touchable := refetchRateFactor * ch.readRate * float64(run)
 	refetch := deficit
 	if refetch > touchable {
 		refetch = touchable
 	}
+	prev := ch.resident
 	if ch.resident+refetch < demand {
 		ch.resident += refetch
 	} else {
 		ch.resident = demand
 	}
+	e.totalResident += ch.resident - prev
 
 	// Streaming traffic flushes other channels' lines in proportion to how
 	// much data moved through L2 during the slice. This is the victim-op
 	// fingerprint: bandwidth-heavy element-wise ops flush far more per slice
 	// than compute-bound convolutions.
-	streamed := (read + write) * float64(run)
+	streamed := (ch.readRate + ch.writeRate) * float64(run)
 	evictFrac := streamed / e.cfg.L2Bytes
 	if evictFrac > 1 {
 		evictFrac = 1
 	}
-	var total float64
-	for _, other := range e.channels {
-		if other != ch {
-			other.resident *= 1 - evictFrac
+	decay := 1 - evictFrac
+
+	if e.cfg.ExactResidencyTotal {
+		// Historical eager sweep: decay everyone else, sum fresh in attach
+		// order, rescale under capacity pressure. Bit-identical to the
+		// pre-log engine. The L2 log stays empty in this mode — every
+		// channel is updated eagerly, so there is never anything to replay.
+		var total float64
+		for _, other := range e.channels {
+			if other != ch {
+				other.resident *= decay
+			}
+			total += other.resident
 		}
-		total += other.resident
+		if total > e.cfg.L2Bytes {
+			scale := e.cfg.L2Bytes / total
+			for _, other := range e.channels {
+				other.resident *= scale
+			}
+			e.totalResident = e.cfg.L2Bytes
+		} else {
+			e.totalResident = total
+		}
+		return refetch
 	}
 
-	// Capacity pressure: shrink everyone proportionally if oversubscribed.
+	// Fast path: the aggregate follows the same recurrence the eager sweep's
+	// summation computes — ch keeps its value, everyone else decays — in
+	// O(1).
+	total := ch.resident + (e.totalResident-ch.resident)*decay
+	scale := 1.0
 	if total > e.cfg.L2Bytes {
-		scale := e.cfg.L2Bytes / total
-		for _, other := range e.channels {
-			other.resident *= scale
+		scale = e.cfg.L2Bytes / total
+		total = e.cfg.L2Bytes
+	}
+	e.totalResident = total
+	if decay != 1 || scale != 1 {
+		e.l2Log = append(e.l2Log, resStep{decay: decay, scale: scale})
+		if scale != 1 {
+			// The granted channel skips its own entry's decay but does
+			// take the rescale, like everyone else.
+			ch.resident *= scale
 		}
 	}
+	ch.l2Epoch = e.l2Base + len(e.l2Log)
+	e.maybeCompactLogs()
 	return refetch
 }
 
 // touchTex updates the texture-cache residency model and returns the bytes
 // of texture working set the channel had to re-query because texture-path
 // kernels of other channels evicted it.
-func (e *Engine) touchTex(ch *channel, k KernelProfile, run Nanos) float64 {
-	demand := k.TexWorkingSetBytes
+func (e *Engine) touchTex(ch *channel, run Nanos) float64 {
+	e.catchUpTex(ch)
+
+	demand := ch.current.TexWorkingSetBytes
 	if demand > e.cfg.TexCacheBytes {
 		demand = e.cfg.TexCacheBytes
 	}
-	_, _, texRate := k.TrafficRates(e.cfg)
 	deficit := demand - ch.texResident
 	if deficit < 0 {
 		deficit = 0
 	}
-	touchable := refetchRateFactor * texRate * float64(run)
+	touchable := refetchRateFactor * ch.texRate * float64(run)
 	refetch := deficit
 	if refetch > touchable {
 		refetch = touchable
@@ -516,33 +744,29 @@ func (e *Engine) touchTex(ch *channel, k KernelProfile, run Nanos) float64 {
 
 	// Only texture traffic erodes texture-cache state: convolutions flush
 	// the spy's texture set, element-wise and GEMM ops leave it intact.
-	texStreamed := texRate * float64(run)
+	texStreamed := ch.texRate * float64(run)
 	evictFrac := texStreamed / e.cfg.TexCacheBytes
 	if evictFrac > 1 {
 		evictFrac = 1
 	}
 	if evictFrac > 0 {
-		for _, other := range e.channels {
-			if other != ch {
-				other.texResident *= 1 - evictFrac
-			}
-		}
+		e.texLog = append(e.texLog, 1-evictFrac)
 	}
+	ch.texEpoch = e.texBase + len(e.texLog)
 	return refetch
 }
 
-// sliceCounters attributes performance-counter increments for running kernel
-// k for run nanoseconds, plus the L2 and texture refetch penalties. rng is
-// the granted context's noise stream (the shared stream unless per-context
-// isolation is enabled).
-func (e *Engine) sliceCounters(k KernelProfile, run Nanos, refetch, texRefetch float64, rng *rand.Rand) CounterDelta {
-	read, write, tex := k.TrafficRates(e.cfg)
+// sliceCounters attributes performance-counter increments for running ch's
+// kernel for run nanoseconds, plus the L2 and texture refetch penalties. rng
+// is the granted context's noise stream (the shared stream unless
+// per-context isolation is enabled).
+func (e *Engine) sliceCounters(ch *channel, run Nanos, refetch, texRefetch float64, rng *rand.Rand) CounterDelta {
 	dur := float64(run)
 	sec := e.cfg.SectorBytes
 
-	readSec := noisy(read*dur/sec, e.cfg.NoiseFrac, rng)
-	writeSec := noisy(write*dur/sec, e.cfg.NoiseFrac, rng)
-	texSec := noisy(tex*dur/sec, e.cfg.NoiseFrac, rng)
+	readSec := noisy(ch.readRate*dur/sec, e.cfg.NoiseFrac, rng)
+	writeSec := noisy(ch.writeRate*dur/sec, e.cfg.NoiseFrac, rng)
+	texSec := noisy(ch.texRate*dur/sec, e.cfg.NoiseFrac, rng)
 	refetchSec := noisy(refetch/sec, e.cfg.NoiseFrac, rng)
 	texRefetchSec := noisy(texRefetch/sec, e.cfg.NoiseFrac, rng)
 

@@ -114,13 +114,14 @@ func (m *MPSEngine) advanceSecondary(from, to Nanos, rate float64) {
 func (m *MPSEngine) advanceChannel(ch *channel, from, to Nanos, rate float64) {
 	now := from
 	for now < to && !ch.done {
-		if ch.current == nil {
+		if !ch.hasKernel {
 			k, notBefore, ok := ch.source.Next(now)
 			if !ok {
 				ch.done = true
 				return
 			}
-			ch.current = &k
+			ch.current = k
+			ch.hasKernel = true
 			ch.remaining = k.Duration(m.cfg)
 			ch.notBefore = notBefore
 			if ch.notBefore < now {
@@ -146,7 +147,7 @@ func (m *MPSEngine) advanceChannel(ch *channel, from, to Nanos, rate float64) {
 		} else {
 			span = Nanos(float64(run) / rate)
 		}
-		k := *ch.current
+		k := ch.current
 		rec := SliceRecord{
 			Ctx:    ch.ctx,
 			Kernel: k,
@@ -161,7 +162,7 @@ func (m *MPSEngine) advanceChannel(ch *channel, from, to Nanos, rate float64) {
 			if m.OnKernelEnd != nil {
 				m.OnKernelEnd(KernelSpan{Ctx: ch.ctx, Kernel: k, Start: ch.started, End: now})
 			}
-			ch.current = nil
+			ch.hasKernel = false
 			ch.notBefore = now + m.cfg.LaunchGap
 		}
 		if m.OnSlice != nil {

@@ -88,6 +88,82 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	return results, nil
 }
 
+// Pool is a shared execution-slot budget: several MapOn fan-outs, possibly
+// running concurrently from different goroutines, draw slots from the same
+// semaphore, so a pipeline whose stages overlap — trace collection feeding
+// model training, say — never runs more than the budget's worth of tasks at
+// once. Build one with NewPool; the zero Pool is not usable.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool builds a pool with the given number of slots; n <= 0 selects
+// runtime.GOMAXPROCS(0).
+func NewPool(n int) *Pool {
+	return &Pool{sem: make(chan struct{}, Workers(n))}
+}
+
+// Slots returns the pool's concurrency budget.
+func (p *Pool) Slots() int { return cap(p.sem) }
+
+// MapOn is Map drawing its concurrency from the shared pool p instead of a
+// private worker set, with the same three guarantees: results in index
+// order, the lowest-index error wins, and no new work starts after a failure.
+// Each task holds a pool slot only while fn runs, so a goroutine blocked in
+// MapOn never starves a concurrent fan-out on the same pool. A nil pool
+// falls back to Map with the default worker count.
+func MapOn[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	if p == nil {
+		return Map(0, n, fn)
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := cap(p.sem)
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	var next, failed atomic.Int64
+	failed.Store(int64(n)) // sentinel: no failure yet
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || int64(i) > failed.Load() {
+					return
+				}
+				p.sem <- struct{}{}
+				r, err := fn(i)
+				<-p.sem
+				if err != nil {
+					errs[i] = err
+					for {
+						cur := failed.Load()
+						if int64(i) >= cur || failed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
 // Do is Map for side-effect-only tasks.
 func Do(workers, n int, fn func(i int) error) error {
 	_, err := Map(workers, n, func(i int) (struct{}, error) {
