@@ -419,7 +419,16 @@ func BenchmarkWorkbenchWorkers4(b *testing.B) { benchWorkbench(b, 4) }
 func benchTrainModels(b *testing.B, workers int) {
 	sc := benchScale()
 	sc.Workers = workers
-	sc.Attack.Batch = 2
+	// Batch=8 with FP32 compute is the batched-GEMM trainer's intended
+	// operating point: the batch is wide enough that the rank-B gradient
+	// updates amortize a whole pass over the weight matrices (the
+	// length-sorted slot prefix keeps padding free), and the float32 fast
+	// path halves kernel memory traffic and swaps math.Exp/Tanh for the
+	// cheaper Cephes polynomials. Both knobs are golden-pinned deterministic
+	// paths (see internal/lstm/golden_test.go); Batch=2 FP64, the pre-GEMM
+	// setting, left most of that on the table.
+	sc.Attack.Batch = 8
+	sc.Attack.Precision = lstm.PrecisionFP32
 	profiled, err := sc.CollectTraces(sc.Profiled, sc.Seed+100)
 	if err != nil {
 		b.Fatal(err)
@@ -439,6 +448,52 @@ func benchTrainModels(b *testing.B, workers int) {
 
 func BenchmarkTrainModelsWorkers1(b *testing.B) { benchTrainModels(b, 1) }
 func BenchmarkTrainModelsWorkers4(b *testing.B) { benchTrainModels(b, 4) }
+
+// benchBPTT isolates raw LSTM BPTT throughput — one network, one epoch per
+// iteration, no attack pipeline around it — at the op-classifier's scale.
+// This is the kernel the GEMM overhaul targets, so it sits in CI's perf
+// gate alongside the end-to-end training benchmarks.
+func benchBPTT(b *testing.B, precision lstm.Precision) {
+	const (
+		inputDim = 8
+		classes  = 10
+		seqCount = 32
+		seqLen   = 30
+	)
+	rng := rand.New(rand.NewSource(42))
+	seqs := make([]lstm.Sequence, seqCount)
+	for i := range seqs {
+		in := make([][]float64, seqLen)
+		labels := make([]int, seqLen)
+		for t := range in {
+			v := make([]float64, inputDim)
+			for j := range v {
+				v[j] = rng.NormFloat64()
+			}
+			in[t] = v
+			labels[t] = rng.Intn(classes)
+		}
+		seqs[i] = lstm.Sequence{Inputs: in, Labels: labels}
+	}
+	n, err := lstm.New(lstm.Config{
+		InputDim: inputDim, Hidden: 40, Classes: classes, Seed: 7,
+		Batch: 8, Workers: 1, Precision: precision,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tokens := int64(seqCount * seqLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Train(seqs, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tokens)*float64(b.N)/b.Elapsed().Seconds(), "timesteps/s")
+}
+
+func BenchmarkBPTTSingleThread(b *testing.B)     { benchBPTT(b, lstm.PrecisionFP64) }
+func BenchmarkBPTTSingleThreadFP32(b *testing.B) { benchBPTT(b, lstm.PrecisionFP32) }
 
 // BenchmarkExtraction measures one full MoSConS extraction on a collected
 // trace (training excluded).

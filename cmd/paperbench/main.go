@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"leakydnn/internal/eval"
+	"leakydnn/internal/lstm"
 )
 
 var experiments = []string{
@@ -40,6 +41,8 @@ func run() error {
 			"evaluation and training worker-pool size (results are identical for any value; 1 runs serially)")
 		batch = flag.Int("batch", 0,
 			"LSTM minibatch size: sequences per optimizer step (0 = 1, the per-sequence schedule)")
+		precision = flag.String("precision", "fp64",
+			"LSTM training arithmetic: fp64 (bit-reproducible historical trajectories) or fp32 (faster, separately deterministic)")
 	)
 	flag.Parse()
 
@@ -50,6 +53,14 @@ func run() error {
 	sc.Seed = *seed
 	sc.Workers = *workers
 	sc.Attack.Batch = *batch
+	switch *precision {
+	case "fp64":
+		sc.Attack.Precision = lstm.PrecisionFP64
+	case "fp32":
+		sc.Attack.Precision = lstm.PrecisionFP32
+	default:
+		return fmt.Errorf("unknown -precision %q (want fp64 or fp32)", *precision)
+	}
 
 	selected := experiments
 	if *expName != "all" {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"leakydnn/internal/gbdt"
+	"leakydnn/internal/lstm"
 	"leakydnn/internal/par"
 )
 
@@ -53,10 +54,17 @@ type Config struct {
 	// historical per-sequence update schedule bit for bit.
 	Batch int
 	// Workers bounds the concurrency of training: independent model heads
-	// train in parallel and each LSTM spreads its minibatch across the same
-	// number of workers. Any value produces byte-identical models; 1 trains
-	// serially, <= 0 selects runtime.GOMAXPROCS.
+	// train in parallel and each LSTM partitions its GEMM kernels across the
+	// same number of workers. Any value produces byte-identical models; 1
+	// trains serially, <= 0 selects runtime.GOMAXPROCS.
 	Workers int
+
+	// Precision selects the LSTM training arithmetic. The default
+	// (lstm.PrecisionFP64) reproduces the historical trajectories bit for bit
+	// at Batch<=1; lstm.PrecisionFP32 trades that for roughly double the GEMM
+	// throughput on a separately-deterministic trajectory. Inference always
+	// runs float64.
+	Precision lstm.Precision
 
 	// pool, when set via WithPool, makes the head-level training fan-out draw
 	// its execution slots from a budget shared with the caller's other

@@ -8,6 +8,7 @@ import (
 	"leakydnn/internal/cupti"
 
 	"leakydnn/internal/dnn"
+	"leakydnn/internal/gbdt"
 	"leakydnn/internal/trace"
 )
 
@@ -159,6 +160,13 @@ type labelledTrace struct {
 // refetch fraction — the component of the spy's traffic that fingerprints
 // the concurrently running victim op.
 func Featurize(s cupti.Sample) []float64 {
+	v := make([]float64, 0, FeatureDim)
+	return featurizeAppend(v, s)
+}
+
+// featurizeAppend appends the feature vector to v, so bulk callers can pack
+// rows into one backing array.
+func featurizeAppend(v []float64, s cupti.Sample) []float64 {
 	raw := s.Vector()
 	// Counter values from damaged or hand-built traces can be negative or
 	// non-finite; either would turn Log1p into NaN and silently poison every
@@ -175,17 +183,33 @@ func Featurize(s cupti.Sample) []float64 {
 	fbWrite := raw[4] + raw[5]
 	l2Read := raw[6] + raw[7]
 
-	v := make([]float64, 0, FeatureDim)
 	for _, x := range raw {
 		v = append(v, math.Log1p(x))
 	}
-	v = append(v,
+	return append(v,
 		fbRead/(fbWrite+1), // refetch inflates reads relative to writes
 		l2Read/(fbRead+1),  // miss intensity of the read stream
 		tex/(fbRead+fbWrite+1),
 		math.Log1p(fbRead+fbWrite+tex), // overall activity level
 	)
-	return v
+}
+
+// FeatureMatrix featurizes and scales every sample with a single backing
+// allocation. Row-at-a-time Transform(Featurize(s)) was a top entry in the
+// training pipeline's allocation profile — these matrices are rebuilt per
+// trace and per extraction. The rows are value-identical to the two-step
+// form.
+func FeatureMatrix(scaler *gbdt.MinMaxScaler, samples []cupti.Sample) [][]float64 {
+	rows := make([][]float64, len(samples))
+	backing := make([]float64, 0, len(samples)*FeatureDim)
+	for i, s := range samples {
+		start := len(backing)
+		backing = featurizeAppend(backing, s)
+		row := backing[start:len(backing):len(backing)]
+		scaler.TransformInPlace(row)
+		rows[i] = row
+	}
+	return rows
 }
 
 // FeatureDim is the length of Featurize's output.
@@ -197,10 +221,17 @@ func prepare(traces []*trace.Trace) ([]*labelledTrace, [][]float64, error) {
 	if len(traces) == 0 {
 		return nil, nil, errors.New("attack: no profiling traces")
 	}
-	var raw [][]float64
+	total := 0
+	for _, tr := range traces {
+		total += len(tr.Samples)
+	}
+	raw := make([][]float64, 0, total)
+	backing := make([]float64, 0, total*FeatureDim)
 	for _, tr := range traces {
 		for _, s := range tr.Samples {
-			raw = append(raw, Featurize(s))
+			start := len(backing)
+			backing = featurizeAppend(backing, s)
+			raw = append(raw, backing[start:len(backing):len(backing)])
 		}
 	}
 	if len(raw) == 0 {

@@ -106,10 +106,7 @@ func (m *Models) ExtractSegmented(samples []cupti.Sample, reanchors []gpu.Nanos)
 	if m.Long == nil || m.Op == nil {
 		return nil, errors.New("attack: Mlong/Mop not trained")
 	}
-	features := make([][]float64, len(samples))
-	for i, s := range samples {
-		features[i] = m.Scaler.Transform(Featurize(s))
-	}
+	features := FeatureMatrix(m.Scaler, samples)
 
 	split, err := m.SplitSegmented(features, trace.SegmentBounds(samples, reanchors))
 	if err != nil {
@@ -287,10 +284,7 @@ func (m *Models) EvaluateHP(tr *trace.Trace, kind HPKind) (correct, total int, e
 	}
 	vocab := m.HPVocab[kind]
 	labels := tr.Labels()
-	features := make([][]float64, len(tr.Samples))
-	for i, s := range tr.Samples {
-		features[i] = m.Scaler.Transform(Featurize(s))
-	}
+	features := FeatureMatrix(m.Scaler, tr.Samples)
 	for _, it := range groundTruthIterations(labels) {
 		pred, err := m.HP[kind].Predict(features[it.Start:it.End])
 		if err != nil {

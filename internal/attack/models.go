@@ -57,10 +57,7 @@ func TrainModels(traces []*trace.Trace, cfg Config) (*Models, error) {
 		return nil, err
 	}
 	for _, lt := range lts {
-		lt.features = make([][]float64, len(lt.trace.Samples))
-		for i, s := range lt.trace.Samples {
-			lt.features[i] = scaler.Transform(Featurize(s))
-		}
+		lt.features = FeatureMatrix(scaler, lt.trace.Samples)
 	}
 	m := &Models{Cfg: cfg, Scaler: scaler, Report: make(map[string]float64)}
 
@@ -122,6 +119,7 @@ func (m *Models) lstmConfig(cfg lstm.Config) lstm.Config {
 	cfg.LearningRate = m.Cfg.LearningRate
 	cfg.Batch = m.Cfg.Batch
 	cfg.Workers = m.Cfg.Workers
+	cfg.Precision = m.Cfg.Precision
 	return cfg
 }
 
@@ -363,19 +361,19 @@ func (m *Models) trainVoting(lts []*labelledTrace) error {
 	var longSeqs, opSeqs []lstm.Sequence
 	var valLong, valOp []lstm.Sequence
 	for _, lt := range lts {
-		preds := make([][]int, len(lt.iters))
-		opPreds := make([][]int, len(lt.iters))
+		// One batched forward per head over all iterations of the trace;
+		// bit-identical to per-iteration Predict calls, far fewer gemv stalls.
+		iterInputs := make([][][]float64, len(lt.iters))
 		for i, it := range lt.iters {
-			p, err := m.Long.Predict(lt.features[it.Start:it.End])
-			if err != nil {
-				return err
-			}
-			preds[i] = p
-			q, err := m.Op.Predict(lt.features[it.Start:it.End])
-			if err != nil {
-				return err
-			}
-			opPreds[i] = q
+			iterInputs[i] = lt.features[it.Start:it.End]
+		}
+		preds, err := m.Long.PredictBatch(iterInputs)
+		if err != nil {
+			return err
+		}
+		opPreds, err := m.Op.PredictBatch(iterInputs)
+		if err != nil {
+			return err
 		}
 		// Sliding-window groups (stride 1) so the voting models see enough
 		// distinct bundles even from short profiling runs. Each group is
@@ -502,12 +500,18 @@ func (m *Models) selectMajority(net *lstm.Network, val []lstm.Sequence, classes,
 	if len(val) == 0 {
 		return false, nil
 	}
+	valInputs := make([][][]float64, len(val))
+	for i, seq := range val {
+		valInputs[i] = seq.Inputs
+	}
+	// Batched inference is bit-identical to per-sequence Predict calls.
+	preds, err := net.PredictBatch(valInputs)
+	if err != nil {
+		return false, err
+	}
 	var lstmCorrect, majCorrect, total int
-	for _, seq := range val {
-		pred, err := net.Predict(seq.Inputs)
-		if err != nil {
-			return false, err
-		}
+	for i, seq := range val {
+		pred := preds[i]
 		for t := range seq.Inputs {
 			if seq.Mask != nil && !seq.Mask[t] {
 				continue
@@ -613,8 +617,13 @@ func voteInputs(preds [][]int, group []int, baseLen, classes, padClass int) [][]
 // with the misalignment they face at attack time.
 func voteInputsShifted(preds [][]int, group []int, baseLen, classes, padClass, shift int) [][]float64 {
 	out := make([][]float64, baseLen)
+	width := classes * len(group)
+	// One backing array for all timesteps: these sequences are built per
+	// group per augmentation shift, so row-at-a-time allocation dominated
+	// the training pipeline's allocation profile.
+	backing := make([]float64, baseLen*width)
 	for t := 0; t < baseLen; t++ {
-		vec := make([]float64, classes*len(group))
+		vec := backing[t*width : (t+1)*width : (t+1)*width]
 		for j, idx := range group {
 			cls := padClass
 			if n := len(preds[idx]); n > 0 {

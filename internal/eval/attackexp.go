@@ -313,9 +313,5 @@ func (r *Table9Result) Render() string {
 
 // attackFeatures converts a trace's samples into the scaled feature stream.
 func attackFeatures(m *attack.Models, tr *trace.Trace) [][]float64 {
-	out := make([][]float64, len(tr.Samples))
-	for i, s := range tr.Samples {
-		out[i] = m.Scaler.Transform(attack.Featurize(s))
-	}
-	return out
+	return attack.FeatureMatrix(m.Scaler, tr.Samples)
 }

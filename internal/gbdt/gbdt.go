@@ -8,7 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"leakydnn/internal/mat"
 )
@@ -117,6 +117,7 @@ func Train(x [][]float64, y []int, cfg Config) (*Classifier, error) {
 	for i := range idx {
 		idx[i] = i
 	}
+	order := make([]sortPair, len(x)) // per-node sort scratch, shared by all trees
 
 	for round := 0; round < cfg.Rounds; round++ {
 		for i := range x {
@@ -127,7 +128,7 @@ func Train(x [][]float64, y []int, cfg Config) (*Classifier, error) {
 				hess[i] = 1e-9
 			}
 		}
-		tree := c.buildNode(x, grad, hess, idx, cfg.MaxDepth)
+		tree := c.buildNode(x, grad, hess, idx, order, cfg.MaxDepth)
 		c.trees = append(c.trees, tree)
 		for i := range x {
 			scores[i] += cfg.LearningRate * tree.predict(x[i])
@@ -136,8 +137,19 @@ func Train(x [][]float64, y []int, cfg Config) (*Classifier, error) {
 	return c, nil
 }
 
+// sortPair carries one sample's feature value alongside its index so the
+// split-search sort compares prefetched keys directly instead of chasing
+// x[order[a]][f] through two pointer loads per comparison.
+type sortPair struct {
+	v float64
+	i int
+}
+
 // buildNode recursively grows one regression tree over the sample indices.
-func (c *Classifier) buildNode(x [][]float64, grad, hess []float64, idx []int, depth int) *node {
+// scratch is a caller-owned buffer with cap >= len(idx), reused for the
+// per-feature sort: it is dead by the time the children recurse, so one
+// buffer per tree serves every node.
+func (c *Classifier) buildNode(x [][]float64, grad, hess []float64, idx []int, scratch []sortPair, depth int) *node {
 	var gSum, hSum float64
 	for _, i := range idx {
 		gSum += grad[i]
@@ -153,18 +165,32 @@ func (c *Classifier) buildNode(x [][]float64, grad, hess []float64, idx []int, d
 	var bestThresh float64
 	parentScore := gSum * gSum / (hSum + c.cfg.Lambda)
 
-	order := make([]int, len(idx))
+	order := scratch[:len(idx)]
 	for f := 0; f < c.dim; f++ {
-		copy(order, idx)
-		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+		for j, i := range idx {
+			order[j] = sortPair{v: x[i][f], i: i}
+		}
+		// slices.SortFunc avoids sort.Slice's reflection-based swapper —
+		// this sort dominates tree construction. Still deterministic: pdqsort
+		// on a fixed input yields a fixed permutation.
+		slices.SortFunc(order, func(a, b sortPair) int {
+			switch {
+			case a.v < b.v:
+				return -1
+			case a.v > b.v:
+				return 1
+			default:
+				return 0
+			}
+		})
 
 		var gl, hl float64
 		for pos := 0; pos < len(order)-1; pos++ {
-			i := order[pos]
+			i := order[pos].i
 			gl += grad[i]
 			hl += hess[i]
 			// Can't split between equal values.
-			if x[order[pos]][f] == x[order[pos+1]][f] {
+			if order[pos].v == order[pos+1].v {
 				continue
 			}
 			nl, nr := pos+1, len(order)-pos-1
@@ -176,7 +202,7 @@ func (c *Classifier) buildNode(x [][]float64, grad, hess []float64, idx []int, d
 			if gain > bestGain {
 				bestGain = gain
 				bestFeat = f
-				bestThresh = (x[order[pos]][f] + x[order[pos+1]][f]) / 2
+				bestThresh = (order[pos].v + order[pos+1].v) / 2
 			}
 		}
 	}
@@ -195,8 +221,8 @@ func (c *Classifier) buildNode(x [][]float64, grad, hess []float64, idx []int, d
 	return &node{
 		feature:   bestFeat,
 		threshold: bestThresh,
-		left:      c.buildNode(x, grad, hess, left, depth-1),
-		right:     c.buildNode(x, grad, hess, right, depth-1),
+		left:      c.buildNode(x, grad, hess, left, scratch, depth-1),
+		right:     c.buildNode(x, grad, hess, right, scratch, depth-1),
 	}
 }
 

@@ -62,6 +62,27 @@ func (s *MinMaxScaler) Transform(x []float64) []float64 {
 	return out
 }
 
+// TransformInPlace scales x like Transform but writes the result back into
+// x, for callers that build feature rows in bulk and don't need the raw
+// vector afterwards.
+func (s *MinMaxScaler) TransformInPlace(x []float64) {
+	for j, v := range x {
+		span := s.Max[j] - s.Min[j]
+		if span <= 0 {
+			x[j] = 0
+			continue
+		}
+		u := (v - s.Min[j]) / span
+		switch {
+		case math.IsNaN(u), u < 0:
+			u = 0
+		case u > 1:
+			u = 1
+		}
+		x[j] = u
+	}
+}
+
 // TransformAll maps Transform over every row.
 func (s *MinMaxScaler) TransformAll(x [][]float64) [][]float64 {
 	out := make([][]float64, len(x))

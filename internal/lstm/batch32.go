@@ -1,0 +1,366 @@
+package lstm
+
+import (
+	"math"
+
+	"leakydnn/internal/mat"
+	"leakydnn/internal/par"
+)
+
+// This file is the float32 instantiation of the batched training path
+// (Config.Precision == PrecisionFP32): float32 shadow weights, float32
+// GEMMs and fast float32 activations in the hot loop, while the float64
+// master weights and the Adam state remain the source of truth — a
+// classic mixed-precision scheme. Per step:
+//
+//	forward/backward in float32  →  gradients staged to float64  →
+//	clip + Adam on float64 masters  →  shadows refreshed from masters
+//
+// Inference (PredictProbs and friends) always runs float64, so a model
+// trained at FP32 still predicts deterministically across precisions of
+// future fine-tuning. The FP32 trajectory is pinned by its own golden
+// hash; it is reproducible but deliberately not comparable bit-for-bit to
+// the FP64 one. Structure mirrors batch.go — slots sorted by non-increasing
+// length, every kernel over the live prefix — keep the two in sync.
+
+type batchStep32 struct {
+	x                       []float32
+	i, f, g, o, c, h, tanhC []float32
+	probs                   []float32
+}
+
+// shadow32 is the float32 copy of the network parameters the hot loop
+// reads; refresh re-derives it from the float64 masters after every step.
+// The forward pass reads the transposed copies (wxT: in×4h, whT: h×4h,
+// wyT: h×cls) so x·Wᵀ runs as GemmInto over W's transpose — the same
+// per-cell product sequence as GemmTB, but on the kernel that streams the
+// weight matrix once and vectorizes over output columns. The backward pass
+// reads wh and wy in their master orientation.
+type shadow32 struct {
+	wh, wy, b, by []float32
+	wxT, whT, wyT []float32
+}
+
+func (w *shadow32) refresh(n *Network) {
+	cvt32(w.wh, n.wh.Data)
+	cvt32(w.wy, n.wy.Data)
+	cvt32(w.b, n.b)
+	cvt32(w.by, n.by)
+	transpose32(w.wxT, n.wx.Data, n.wx.Rows, n.wx.Cols)
+	transpose32(w.whT, n.wh.Data, n.wh.Rows, n.wh.Cols)
+	transpose32(w.wyT, n.wy.Data, n.wy.Rows, n.wy.Cols)
+}
+
+// transpose32 writes dst[c*rows+r] = float32(src[r*cols+c]).
+func transpose32(dst []float32, src []float64, rows, cols int) {
+	for r := 0; r < rows; r++ {
+		row := src[r*cols : (r+1)*cols]
+		for c, v := range row {
+			dst[c*rows+r] = float32(v)
+		}
+	}
+}
+
+func cvt32(dst []float32, src []float64) {
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+type batchTrainer32 struct {
+	n       *Network
+	bcap    int
+	workers int
+	w       shadow32
+
+	// float32 gradient accumulators, staged into g for the shared
+	// scale/clip/Adam path.
+	gwx, gwh, gwy, gb, gby []float32
+	g                      *grads
+
+	steps []*batchStep32
+	hzero []float32
+
+	z, ztmp, dz                  []float32
+	dh, dc, dcNext, dhNext, htmp []float32
+	dLogits, logits              []float32
+
+	lens   []int
+	idx    []int
+	inputs [][][]float64
+}
+
+func (n *Network) newBatchTrainer32(bcap int) *batchTrainer32 {
+	h, c, in := n.cfg.Hidden, n.cfg.Classes, n.cfg.InputDim
+	bt := &batchTrainer32{
+		n:       n,
+		bcap:    bcap,
+		workers: par.Workers(n.cfg.Workers),
+		w: shadow32{
+			wh:  make([]float32, 4*h*h),
+			wy:  make([]float32, c*h),
+			b:   make([]float32, 4*h),
+			by:  make([]float32, c),
+			wxT: make([]float32, in*4*h),
+			whT: make([]float32, h*4*h),
+			wyT: make([]float32, h*c),
+		},
+		gwx:     make([]float32, 4*h*in),
+		gwh:     make([]float32, 4*h*h),
+		gwy:     make([]float32, c*h),
+		gb:      make([]float32, 4*h),
+		gby:     make([]float32, c),
+		g:       n.newGrads(),
+		hzero:   make([]float32, bcap*h),
+		z:       make([]float32, bcap*4*h),
+		ztmp:    make([]float32, bcap*4*h),
+		dz:      make([]float32, bcap*4*h),
+		dh:      make([]float32, bcap*h),
+		dc:      make([]float32, bcap*h),
+		dcNext:  make([]float32, bcap*h),
+		dhNext:  make([]float32, bcap*h),
+		htmp:    make([]float32, bcap*h),
+		dLogits: make([]float32, bcap*c),
+		logits:  make([]float32, bcap*c),
+		lens:    make([]int, bcap),
+		idx:     make([]int, bcap),
+		inputs:  make([][][]float64, bcap),
+	}
+	bt.w.refresh(n)
+	return bt
+}
+
+func (bt *batchTrainer32) step(t int) *batchStep32 {
+	for len(bt.steps) <= t {
+		b, h := bt.bcap, bt.n.cfg.Hidden
+		buf := make([]float32, 7*b*h)
+		bt.steps = append(bt.steps, &batchStep32{
+			x:     make([]float32, b*bt.n.cfg.InputDim),
+			i:     buf[0 : b*h],
+			f:     buf[b*h : 2*b*h],
+			g:     buf[2*b*h : 3*b*h],
+			o:     buf[3*b*h : 4*b*h],
+			c:     buf[4*b*h : 5*b*h],
+			h:     buf[5*b*h : 6*b*h],
+			tanhC: buf[6*b*h : 7*b*h],
+			probs: make([]float32, b*bt.n.cfg.Classes),
+		})
+	}
+	return bt.steps[t]
+}
+
+// forward mirrors batchTrainer.forward in float32: inputs sorted by
+// non-increasing length, every kernel over the live slot prefix.
+func (bt *batchTrainer32) forward(inputs [][][]float64) int {
+	n := bt.n
+	h, in, cls := n.cfg.Hidden, n.cfg.InputDim, n.cfg.Classes
+	w := bt.workers
+	T := 0
+	for s, seq := range inputs {
+		bt.lens[s] = len(seq)
+		if len(seq) > T {
+			T = len(seq)
+		}
+	}
+
+	hPrev, cPrev := bt.hzero, bt.hzero
+	live := len(inputs)
+	for t := 0; t < T; t++ {
+		for live > 0 && bt.lens[live-1] <= t {
+			live--
+		}
+		st := bt.step(t)
+		for s := 0; s < live; s++ {
+			cvt32(st.x[s*in:s*in+in], inputs[s][t])
+		}
+		mat.GemmInto(bt.z[:live*4*h], st.x[:live*in], bt.w.wxT, live, in, 4*h, w)
+		mat.GemmInto(bt.ztmp[:live*4*h], hPrev[:live*h], bt.w.whT, live, h, 4*h, w)
+		for s := 0; s < live; s++ {
+			zs := bt.z[s*4*h : (s+1)*4*h]
+			zt := bt.ztmp[s*4*h : (s+1)*4*h]
+			cp := cPrev[s*h : s*h+h]
+			si := st.i[s*h : s*h+h]
+			sf := st.f[s*h : s*h+h]
+			sg := st.g[s*h : s*h+h]
+			so := st.o[s*h : s*h+h]
+			sc := st.c[s*h : s*h+h]
+			sh := st.h[s*h : s*h+h]
+			stc := st.tanhC[s*h : s*h+h]
+			// Fold the recurrent term and bias into zs in place — the same
+			// (zs + zt) + b rounding order the scalar loop used — then apply
+			// the activations array-wise so the AVX2 kernels get whole gate
+			// rows. Per-element operation chains are unchanged, so this is
+			// bit-identical to the fused scalar loop.
+			for j, bv := range bt.w.b {
+				zs[j] = zs[j] + zt[j] + bv
+			}
+			mat.SigmoidInto32(si, zs[:h])
+			mat.SigmoidInto32(sf, zs[h:2*h])
+			mat.TanhInto32(sg, zs[2*h:3*h])
+			mat.SigmoidInto32(so, zs[3*h:4*h])
+			for j := 0; j < h; j++ {
+				sc[j] = sf[j]*cp[j] + si[j]*sg[j]
+			}
+			mat.TanhInto32(stc, sc)
+			for j := 0; j < h; j++ {
+				sh[j] = so[j] * stc[j]
+			}
+		}
+		mat.GemmInto(bt.logits[:live*cls], st.h[:live*h], bt.w.wyT, live, h, cls, w)
+		for s := 0; s < live; s++ {
+			lrow := bt.logits[s*cls : (s+1)*cls]
+			for j, v := range bt.w.by {
+				lrow[j] += v
+			}
+			mat.SoftmaxInto32(st.probs[s*cls:(s+1)*cls], lrow)
+		}
+		hPrev, cPrev = st.h, st.c
+	}
+	return T
+}
+
+// run mirrors batchTrainer.run in float32 and leaves the staged float64
+// gradient in bt.g for applyGrads. Loss is accumulated in float64 so the
+// epoch stats keep their precision.
+func (bt *batchTrainer32) run(seqs []Sequence, idx []int) (loss float64, counted, correct int) {
+	n := bt.n
+	h, in, cls := n.cfg.Hidden, n.cfg.InputDim, n.cfg.Classes
+	bs, w := len(idx), bt.workers
+	sorted := bt.idx[:bs]
+	copy(sorted, idx)
+	sortByLenDesc(sorted, seqs)
+	inputs := bt.inputs[:bs]
+	for s, id := range sorted {
+		inputs[s] = seqs[id].Inputs
+	}
+	T := bt.forward(inputs)
+
+	zeroVec32(bt.gwx)
+	zeroVec32(bt.gwh)
+	zeroVec32(bt.gwy)
+	zeroVec32(bt.gb)
+	zeroVec32(bt.gby)
+	dh, dc, dcNext, dhNext := bt.dh, bt.dc, bt.dcNext, bt.dhNext
+	zeroVec32(dhNext[:bs*h])
+	zeroVec32(dcNext[:bs*h])
+
+	live := 0
+	for t := T - 1; t >= 0; t-- {
+		for live < bs && bt.lens[live] > t {
+			live++
+		}
+		st := bt.steps[t]
+		copy(dh[:live*h], dhNext[:live*h])
+
+		dL := bt.dLogits
+		zeroVec32(dL[:live*cls])
+		anyCounted := false
+		for s := 0; s < live; s++ {
+			seq := seqs[sorted[s]]
+			if seq.Mask != nil && !seq.Mask[t] {
+				continue
+			}
+			label := seq.Labels[t]
+			wgt := 1.0
+			if n.cfg.ClassWeights != nil {
+				wgt = n.cfg.ClassWeights[label]
+			}
+			prow := st.probs[s*cls : (s+1)*cls]
+			p := float64(prow[label])
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			loss += -wgt * math.Log(p)
+			counted++
+			if mat.ArgMax32(prow) == label {
+				correct++
+			}
+			drow := dL[s*cls : (s+1)*cls]
+			copy(drow, prow)
+			drow[label]--
+			wgt32 := float32(wgt)
+			for j := range drow {
+				drow[j] *= wgt32
+			}
+			anyCounted = true
+		}
+		if anyCounted {
+			mat.GemmTAAccum(bt.gwy, dL[:live*cls], st.h[:live*h], live, cls, h, w)
+			for s := 0; s < live; s++ {
+				drow := dL[s*cls : (s+1)*cls]
+				for j, v := range drow {
+					bt.gby[j] += v
+				}
+			}
+			mat.GemmInto(bt.htmp[:live*h], dL[:live*cls], bt.w.wy, live, cls, h, w)
+			for j, v := range bt.htmp[:live*h] {
+				dh[j] += v
+			}
+		}
+
+		cPrev := bt.hzero
+		hPrev := bt.hzero
+		if t > 0 {
+			cPrev = bt.steps[t-1].c
+			hPrev = bt.steps[t-1].h
+		}
+		copy(dc[:live*h], dcNext[:live*h])
+		for s := 0; s < live; s++ {
+			dzs := bt.dz[s*4*h : (s+1)*4*h]
+			dhs := dh[s*h : s*h+h]
+			dcs := dc[s*h : s*h+h]
+			dcn := dcNext[s*h : s*h+h]
+			cp := cPrev[s*h : s*h+h]
+			si := st.i[s*h : s*h+h]
+			sf := st.f[s*h : s*h+h]
+			sg := st.g[s*h : s*h+h]
+			so := st.o[s*h : s*h+h]
+			stc := st.tanhC[s*h : s*h+h]
+			for j := 0; j < h; j++ {
+				dzs[3*h+j] = dhs[j] * stc[j] * so[j] * (1 - so[j])
+				dcs[j] += dhs[j] * so[j] * (1 - stc[j]*stc[j])
+			}
+			for j := 0; j < h; j++ {
+				dzs[j] = dcs[j] * sg[j] * si[j] * (1 - si[j])
+				dzs[h+j] = dcs[j] * cp[j] * sf[j] * (1 - sf[j])
+				dzs[2*h+j] = dcs[j] * si[j] * (1 - sg[j]*sg[j])
+				dcn[j] = dcs[j] * sf[j]
+			}
+		}
+
+		mat.GemmTAAccum(bt.gwx, bt.dz[:live*4*h], st.x[:live*in], live, 4*h, in, w)
+		mat.GemmTAAccum(bt.gwh, bt.dz[:live*4*h], hPrev[:live*h], live, 4*h, h, w)
+		for s := 0; s < live; s++ {
+			dzs := bt.dz[s*4*h : (s+1)*4*h]
+			for j, v := range dzs {
+				bt.gb[j] += v
+			}
+		}
+		mat.GemmInto(dhNext[:live*h], bt.dz[:live*4*h], bt.w.wh, live, 4*h, h, w)
+	}
+
+	bt.stageGrads()
+	return loss, counted, correct
+}
+
+// stageGrads widens the float32 accumulators into the float64 grads the
+// shared clip/Adam path consumes.
+func (bt *batchTrainer32) stageGrads() {
+	cvt64(bt.g.wx.Data, bt.gwx)
+	cvt64(bt.g.wh.Data, bt.gwh)
+	cvt64(bt.g.wy.Data, bt.gwy)
+	cvt64(bt.g.b, bt.gb)
+	cvt64(bt.g.by, bt.gby)
+}
+
+func cvt64(dst []float64, src []float32) {
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}
+
+func zeroVec32(v []float32) {
+	for i := range v {
+		v[i] = 0
+	}
+}

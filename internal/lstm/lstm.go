@@ -12,9 +12,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"leakydnn/internal/mat"
-	"leakydnn/internal/par"
 )
 
 // Config describes a network.
@@ -42,10 +42,39 @@ type Config struct {
 	// 0 defaults to 1, which reproduces the historical per-sequence update
 	// schedule bit for bit.
 	Batch int
-	// Workers bounds the worker pool that computes a minibatch's
-	// per-sequence gradients concurrently. Any value trains a byte-identical
-	// network; 1 runs serially, <= 0 selects runtime.GOMAXPROCS(0).
+	// Workers bounds the worker pool the batched GEMM kernels partition
+	// their output cells across. Any value trains a byte-identical network;
+	// 1 runs serially, <= 0 selects runtime.GOMAXPROCS(0).
 	Workers int
+
+	// Precision selects the training arithmetic. The default, PrecisionFP64,
+	// is bit-identical to the historical trainer at Batch=1 and is what every
+	// FP64 golden hash pins. PrecisionFP32 runs forward/backward in float32
+	// (float64 Adam masters) — roughly twice the GEMM throughput for a
+	// deliberately different, separately-pinned trajectory. Inference always
+	// runs float64 regardless of this setting.
+	Precision Precision
+}
+
+// Precision enumerates Config.Precision values.
+type Precision int
+
+const (
+	// PrecisionFP64 trains in float64 throughout (the default).
+	PrecisionFP64 Precision = iota
+	// PrecisionFP32 trains forward/backward in float32 with float64 masters.
+	PrecisionFP32
+)
+
+func (p Precision) String() string {
+	switch p {
+	case PrecisionFP64:
+		return "fp64"
+	case PrecisionFP32:
+		return "fp32"
+	default:
+		return fmt.Sprintf("precision(%d)", int(p))
+	}
 }
 
 func (c *Config) defaults() error {
@@ -70,6 +99,9 @@ func (c *Config) defaults() error {
 	if c.Batch == 0 {
 		c.Batch = 1
 	}
+	if c.Precision != PrecisionFP64 && c.Precision != PrecisionFP32 {
+		return fmt.Errorf("lstm: unknown precision %d", int(c.Precision))
+	}
 	return nil
 }
 
@@ -83,9 +115,17 @@ type Sequence struct {
 	Mask   []bool // nil = all timesteps count
 }
 
+// errEmptySequence and fmtInputDimError are shared by the per-sequence and
+// batched entry points so both report identical diagnostics.
+var errEmptySequence = errors.New("lstm: empty sequence")
+
+func fmtInputDimError(t, got, want int) error {
+	return fmt.Errorf("lstm: input %d has dim %d, want %d", t, got, want)
+}
+
 func (s Sequence) validate(inputDim, classes int) error {
 	if len(s.Inputs) == 0 {
-		return errors.New("lstm: empty sequence")
+		return errEmptySequence
 	}
 	if len(s.Labels) != len(s.Inputs) {
 		return fmt.Errorf("lstm: %d labels for %d inputs", len(s.Labels), len(s.Inputs))
@@ -95,7 +135,7 @@ func (s Sequence) validate(inputDim, classes int) error {
 	}
 	for t, x := range s.Inputs {
 		if len(x) != inputDim {
-			return fmt.Errorf("lstm: input %d has dim %d, want %d", t, len(x), inputDim)
+			return fmtInputDimError(t, len(x), inputDim)
 		}
 		if s.Labels[t] < 0 || s.Labels[t] >= classes {
 			if s.Mask == nil || s.Mask[t] {
@@ -123,6 +163,16 @@ type Network struct {
 	by []float64   // C
 
 	adam *adamState
+
+	// trainedEpochs counts completed Train epochs; serialization records it
+	// so a loaded network resumes on a shuffle stream distinct from the one
+	// already consumed instead of replaying epoch 0's permutations.
+	trainedEpochs int64
+
+	// scratchPool recycles inference scratches across PredictProbs calls.
+	// Each Get hands out a distinct scratch, so concurrent prediction on a
+	// trained network stays safe while steady-state calls stop allocating.
+	scratchPool sync.Pool
 }
 
 // New builds a network with Xavier-style initialization.
@@ -198,6 +248,17 @@ func (n *Network) newScratch() *scratch {
 	}
 }
 
+// getScratch returns a pooled scratch (allocating on a cold pool); callers
+// return it with putScratch once every value they need has been copied out.
+func (n *Network) getScratch() *scratch {
+	if s, ok := n.scratchPool.Get().(*scratch); ok {
+		return s
+	}
+	return n.newScratch()
+}
+
+func (n *Network) putScratch(s *scratch) { n.scratchPool.Put(s) }
+
 // step returns the t-th reusable step cache, growing the pool on demand.
 func (s *scratch) step(t int) *stepCache {
 	for len(s.steps) <= t {
@@ -245,20 +306,24 @@ func (n *Network) forward(inputs [][]float64, s *scratch) []*stepCache {
 }
 
 // PredictProbs returns per-timestep class probabilities for the sequence.
+// Scratch buffers are pooled across calls, so steady-state prediction does
+// not allocate per timestep; concurrent calls each draw their own scratch.
 func (n *Network) PredictProbs(inputs [][]float64) ([][]float64, error) {
 	if len(inputs) == 0 {
-		return nil, errors.New("lstm: empty sequence")
+		return nil, errEmptySequence
 	}
 	for t, x := range inputs {
 		if len(x) != n.cfg.InputDim {
-			return nil, fmt.Errorf("lstm: input %d has dim %d, want %d", t, len(x), n.cfg.InputDim)
+			return nil, fmtInputDimError(t, len(x), n.cfg.InputDim)
 		}
 	}
-	caches := n.forward(inputs, n.newScratch())
+	s := n.getScratch()
+	caches := n.forward(inputs, s)
 	out := make([][]float64, len(caches))
 	for t, sc := range caches {
 		out[t] = mat.CloneVec(sc.probs)
 	}
+	n.putScratch(s)
 	return out, nil
 }
 
@@ -399,27 +464,23 @@ type TrainResult struct {
 	Accuracy float64 // masked training accuracy
 }
 
-// trainSlot is one minibatch position's private training state: its own
-// gradient accumulator and scratch, so pool workers never share buffers.
-type trainSlot struct {
-	g                *grads
-	s                *scratch
-	loss             float64
-	counted, correct int
-}
-
 // Train runs the given number of epochs of minibatch Adam updates over the
-// training set (shuffled each epoch) and returns per-epoch stats. With the
-// default Batch of 1 every sequence gets its own update — the historical
-// per-sequence schedule, bit for bit. Larger batches accumulate the batch
-// members' gradients before one shared Adam step. Per-sequence gradients
-// are computed on Config.Workers goroutines and reduced in fixed index
-// order, so the trained network is byte-identical for every worker count.
+// training set (shuffled each epoch) and returns per-epoch stats. Every
+// minibatch runs through the batched GEMM trainer (batch.go). At the default
+// Batch of 1 with PrecisionFP64 this reproduces the historical per-sequence
+// update schedule bit for bit: the batched kernels accumulate every output
+// cell in exactly the order the per-sequence kernels did. Larger batches
+// accumulate the members' gradients in one rank-B GEMM update before a
+// shared Adam step — a different (cross-sequence) reduction order than the
+// historical reduceGrads schedule, so Batch>1 runs are deterministic and
+// worker-independent but not bit-comparable to pre-GEMM builds.
+// Config.Workers only partitions GEMM output cells, never a reduction, so
+// any worker count trains a byte-identical network.
 //
 // The reported stats are the masked accuracy and loss of the forward passes
-// backward performs anyway — predictions under the weights in effect when
-// each minibatch was visited — so monitoring costs no second pass over the
-// training set.
+// the backward pass performs anyway — predictions under the weights in
+// effect when each minibatch was visited — so monitoring costs no second
+// pass over the training set.
 func (n *Network) Train(seqs []Sequence, epochs int) ([]TrainResult, error) {
 	if len(seqs) == 0 {
 		return nil, errors.New("lstm: no training sequences")
@@ -437,19 +498,26 @@ func (n *Network) Train(seqs []Sequence, epochs int) ([]TrainResult, error) {
 	if batch > len(seqs) {
 		batch = len(seqs)
 	}
-	workers := par.Workers(n.cfg.Workers)
-	if workers > batch {
-		workers = batch
+
+	// The precision paths share everything but the minibatch-gradient
+	// producer: runBatch leaves the summed gradient in g, and postStep (FP32
+	// only) refreshes the float32 shadow weights after each Adam update.
+	var (
+		runBatch func(idx []int) (loss float64, counted, correct int)
+		g        *grads
+		postStep func()
+	)
+	if n.cfg.Precision == PrecisionFP32 {
+		bt := n.newBatchTrainer32(batch)
+		runBatch = func(idx []int) (float64, int, int) { return bt.run(seqs, idx) }
+		g = bt.g
+		postStep = func() { bt.w.refresh(n) }
+	} else {
+		bt := n.newBatchTrainer(batch)
+		runBatch = func(idx []int) (float64, int, int) { return bt.run(seqs, idx) }
+		g = bt.g
+		postStep = func() { bt.refreshWeights() }
 	}
-	slots := make([]*trainSlot, batch)
-	partials := make([]*grads, batch)
-	for i := range slots {
-		slots[i] = &trainSlot{g: n.newGrads(), s: n.newScratch()}
-		partials[i] = slots[i].g
-	}
-	// total is the fixed-order reduction target (unused at Batch 1, where
-	// the single slot's gradient is consumed directly).
-	total := n.newGrads()
 
 	order := make([]int, len(seqs))
 	for i := range order {
@@ -463,42 +531,21 @@ func (n *Network) Train(seqs []Sequence, epochs int) ([]TrainResult, error) {
 		var totalLoss float64
 		var totalCounted, totalCorrect int
 		for start := 0; start < len(order); start += batch {
-			bs := batch
-			if rest := len(order) - start; bs > rest {
-				bs = rest
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
 			}
-			if err := par.Do(workers, bs, func(i int) error {
-				slot := slots[i]
-				slot.g.zero()
-				slot.loss, slot.counted, slot.correct = n.backward(seqs[order[start+i]], slot.g, slot.s)
-				return nil
-			}); err != nil {
-				return nil, err
-			}
-
-			batchCounted := 0
-			for i := 0; i < bs; i++ {
-				totalLoss += slots[i].loss
-				totalCorrect += slots[i].correct
-				batchCounted += slots[i].counted
-			}
-			totalCounted += batchCounted
-			if batchCounted == 0 {
+			loss, counted, correct := runBatch(order[start:end])
+			totalLoss += loss
+			totalCounted += counted
+			totalCorrect += correct
+			if counted == 0 {
 				continue
 			}
-			g := slots[0].g
-			if bs > 1 {
-				reduceGrads(total, partials[:bs])
-				g = total
+			n.applyGrads(g, counted)
+			if postStep != nil {
+				postStep()
 			}
-			scale := 1 / float64(batchCounted)
-			g.wx.Scale(scale)
-			g.wh.Scale(scale)
-			g.wy.Scale(scale)
-			mat.ScaleVec(g.b, scale)
-			mat.ScaleVec(g.by, scale)
-			n.clip(g)
-			n.adam.step(n, g)
 		}
 
 		res := TrainResult{Epoch: epoch}
@@ -507,8 +554,22 @@ func (n *Network) Train(seqs []Sequence, epochs int) ([]TrainResult, error) {
 			res.Accuracy = float64(totalCorrect) / float64(totalCounted)
 		}
 		results = append(results, res)
+		n.trainedEpochs++
 	}
 	return results, nil
+}
+
+// applyGrads performs the shared post-minibatch update: average the summed
+// gradient over the counted timesteps, clip, and take one Adam step.
+func (n *Network) applyGrads(g *grads, batchCounted int) {
+	scale := 1 / float64(batchCounted)
+	g.wx.Scale(scale)
+	g.wh.Scale(scale)
+	g.wy.Scale(scale)
+	mat.ScaleVec(g.b, scale)
+	mat.ScaleVec(g.by, scale)
+	n.clip(g)
+	n.adam.step(n, g)
 }
 
 func (n *Network) clip(g *grads) {

@@ -19,17 +19,22 @@ type snapshot struct {
 	Wy  []float64
 	B   []float64
 	By  []float64
+	// TrainedEpochs records how many Train epochs produced these weights, so
+	// Load can resume shuffling on a stream the original run never consumed.
+	// Old snapshots decode it as zero, which keeps their historical behavior.
+	TrainedEpochs int64
 }
 
 // Save writes the network's parameters to w.
 func (n *Network) Save(w io.Writer) error {
 	snap := snapshot{
-		Cfg: n.cfg,
-		Wx:  n.wx.Data,
-		Wh:  n.wh.Data,
-		Wy:  n.wy.Data,
-		B:   n.b,
-		By:  n.by,
+		Cfg:           n.cfg,
+		Wx:            n.wx.Data,
+		Wh:            n.wh.Data,
+		Wy:            n.wy.Data,
+		B:             n.b,
+		By:            n.by,
+		TrainedEpochs: n.trainedEpochs,
 	}
 	// Workers is an execution knob, not a model property: dropping it keeps
 	// the encoding byte-identical across worker-pool settings.
@@ -58,15 +63,39 @@ func Load(r io.Reader) (*Network, error) {
 		len(snap.B) != 4*h || len(snap.By) != c {
 		return nil, fmt.Errorf("lstm: load: parameter sizes inconsistent with config")
 	}
+	// A freshly-initialized network that never trained resumes on cfg.Seed's
+	// stream, exactly as New would. A trained network must NOT: its original
+	// run already consumed that stream's opening shuffles, and reseeding from
+	// cfg.Seed would make fine-tuning replay epoch 0's permutations. Deriving
+	// the resume seed from (seed, epochs trained) gives every save point its
+	// own deterministic, reproducible stream.
+	seed := cfg.Seed
+	if snap.TrainedEpochs > 0 {
+		seed = resumeSeed(cfg.Seed, snap.TrainedEpochs)
+	}
 	n := &Network{
-		cfg: cfg,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
-		wx:  mat.FromSlice(4*h, in, snap.Wx),
-		wh:  mat.FromSlice(4*h, h, snap.Wh),
-		wy:  mat.FromSlice(c, h, snap.Wy),
-		b:   snap.B,
-		by:  snap.By,
+		cfg:           cfg,
+		rng:           rand.New(rand.NewSource(seed)),
+		wx:            mat.FromSlice(4*h, in, snap.Wx),
+		wh:            mat.FromSlice(4*h, h, snap.Wh),
+		wy:            mat.FromSlice(c, h, snap.Wy),
+		b:             snap.B,
+		by:            snap.By,
+		trainedEpochs: snap.TrainedEpochs,
 	}
 	n.adam = newAdamState(n)
 	return n, nil
+}
+
+// resumeSeed mixes the config seed with the epoch count through a
+// splitmix64-style finalizer, so distinct save points map to well-separated
+// RNG streams even for adjacent seeds and epoch counts.
+func resumeSeed(seed, epochs int64) int64 {
+	z := uint64(seed) + uint64(epochs)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }

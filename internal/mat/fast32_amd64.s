@@ -1,0 +1,308 @@
+// Vectorized float32 sigmoid/tanh for the FP32 gate loops. The exp core
+// is Exp32 lane-wise: identical float32 operations in identical order, so
+// every lane matches the scalar function bit-for-bit (pinned by
+// TestVectorTranscendentalsMatchScalar and the FP32 golden hash).
+// Requires AVX2 (VPADDD/VPSLLD on ymm); callers gate on hasAVX2.
+
+#include "textflag.h"
+
+// +0: log2e (8 x 0x3FB8AA3B)
+DATA exp32consts<>+0(SB)/4, $0x3FB8AA3B
+DATA exp32consts<>+4(SB)/4, $0x3FB8AA3B
+DATA exp32consts<>+8(SB)/4, $0x3FB8AA3B
+DATA exp32consts<>+12(SB)/4, $0x3FB8AA3B
+DATA exp32consts<>+16(SB)/4, $0x3FB8AA3B
+DATA exp32consts<>+20(SB)/4, $0x3FB8AA3B
+DATA exp32consts<>+24(SB)/4, $0x3FB8AA3B
+DATA exp32consts<>+28(SB)/4, $0x3FB8AA3B
+// +32: half (8 x 0x3F000000)
+DATA exp32consts<>+32(SB)/4, $0x3F000000
+DATA exp32consts<>+36(SB)/4, $0x3F000000
+DATA exp32consts<>+40(SB)/4, $0x3F000000
+DATA exp32consts<>+44(SB)/4, $0x3F000000
+DATA exp32consts<>+48(SB)/4, $0x3F000000
+DATA exp32consts<>+52(SB)/4, $0x3F000000
+DATA exp32consts<>+56(SB)/4, $0x3F000000
+DATA exp32consts<>+60(SB)/4, $0x3F000000
+// +64: c1 (8 x 0x3F318000)
+DATA exp32consts<>+64(SB)/4, $0x3F318000
+DATA exp32consts<>+68(SB)/4, $0x3F318000
+DATA exp32consts<>+72(SB)/4, $0x3F318000
+DATA exp32consts<>+76(SB)/4, $0x3F318000
+DATA exp32consts<>+80(SB)/4, $0x3F318000
+DATA exp32consts<>+84(SB)/4, $0x3F318000
+DATA exp32consts<>+88(SB)/4, $0x3F318000
+DATA exp32consts<>+92(SB)/4, $0x3F318000
+// +96: c2 (8 x 0xB95E8083)
+DATA exp32consts<>+96(SB)/4, $0xB95E8083
+DATA exp32consts<>+100(SB)/4, $0xB95E8083
+DATA exp32consts<>+104(SB)/4, $0xB95E8083
+DATA exp32consts<>+108(SB)/4, $0xB95E8083
+DATA exp32consts<>+112(SB)/4, $0xB95E8083
+DATA exp32consts<>+116(SB)/4, $0xB95E8083
+DATA exp32consts<>+120(SB)/4, $0xB95E8083
+DATA exp32consts<>+124(SB)/4, $0xB95E8083
+// +128: p0 (8 x 0x39506967)
+DATA exp32consts<>+128(SB)/4, $0x39506967
+DATA exp32consts<>+132(SB)/4, $0x39506967
+DATA exp32consts<>+136(SB)/4, $0x39506967
+DATA exp32consts<>+140(SB)/4, $0x39506967
+DATA exp32consts<>+144(SB)/4, $0x39506967
+DATA exp32consts<>+148(SB)/4, $0x39506967
+DATA exp32consts<>+152(SB)/4, $0x39506967
+DATA exp32consts<>+156(SB)/4, $0x39506967
+// +160: p1 (8 x 0x3AB743CE)
+DATA exp32consts<>+160(SB)/4, $0x3AB743CE
+DATA exp32consts<>+164(SB)/4, $0x3AB743CE
+DATA exp32consts<>+168(SB)/4, $0x3AB743CE
+DATA exp32consts<>+172(SB)/4, $0x3AB743CE
+DATA exp32consts<>+176(SB)/4, $0x3AB743CE
+DATA exp32consts<>+180(SB)/4, $0x3AB743CE
+DATA exp32consts<>+184(SB)/4, $0x3AB743CE
+DATA exp32consts<>+188(SB)/4, $0x3AB743CE
+// +192: p2 (8 x 0x3C088908)
+DATA exp32consts<>+192(SB)/4, $0x3C088908
+DATA exp32consts<>+196(SB)/4, $0x3C088908
+DATA exp32consts<>+200(SB)/4, $0x3C088908
+DATA exp32consts<>+204(SB)/4, $0x3C088908
+DATA exp32consts<>+208(SB)/4, $0x3C088908
+DATA exp32consts<>+212(SB)/4, $0x3C088908
+DATA exp32consts<>+216(SB)/4, $0x3C088908
+DATA exp32consts<>+220(SB)/4, $0x3C088908
+// +224: p3 (8 x 0x3D2AA9C1)
+DATA exp32consts<>+224(SB)/4, $0x3D2AA9C1
+DATA exp32consts<>+228(SB)/4, $0x3D2AA9C1
+DATA exp32consts<>+232(SB)/4, $0x3D2AA9C1
+DATA exp32consts<>+236(SB)/4, $0x3D2AA9C1
+DATA exp32consts<>+240(SB)/4, $0x3D2AA9C1
+DATA exp32consts<>+244(SB)/4, $0x3D2AA9C1
+DATA exp32consts<>+248(SB)/4, $0x3D2AA9C1
+DATA exp32consts<>+252(SB)/4, $0x3D2AA9C1
+// +256: p4 (8 x 0x3E2AAAAA)
+DATA exp32consts<>+256(SB)/4, $0x3E2AAAAA
+DATA exp32consts<>+260(SB)/4, $0x3E2AAAAA
+DATA exp32consts<>+264(SB)/4, $0x3E2AAAAA
+DATA exp32consts<>+268(SB)/4, $0x3E2AAAAA
+DATA exp32consts<>+272(SB)/4, $0x3E2AAAAA
+DATA exp32consts<>+276(SB)/4, $0x3E2AAAAA
+DATA exp32consts<>+280(SB)/4, $0x3E2AAAAA
+DATA exp32consts<>+284(SB)/4, $0x3E2AAAAA
+// +288: p5 (8 x 0x3F000000)
+DATA exp32consts<>+288(SB)/4, $0x3F000000
+DATA exp32consts<>+292(SB)/4, $0x3F000000
+DATA exp32consts<>+296(SB)/4, $0x3F000000
+DATA exp32consts<>+300(SB)/4, $0x3F000000
+DATA exp32consts<>+304(SB)/4, $0x3F000000
+DATA exp32consts<>+308(SB)/4, $0x3F000000
+DATA exp32consts<>+312(SB)/4, $0x3F000000
+DATA exp32consts<>+316(SB)/4, $0x3F000000
+// +320: one (8 x 0x3F800000)
+DATA exp32consts<>+320(SB)/4, $0x3F800000
+DATA exp32consts<>+324(SB)/4, $0x3F800000
+DATA exp32consts<>+328(SB)/4, $0x3F800000
+DATA exp32consts<>+332(SB)/4, $0x3F800000
+DATA exp32consts<>+336(SB)/4, $0x3F800000
+DATA exp32consts<>+340(SB)/4, $0x3F800000
+DATA exp32consts<>+344(SB)/4, $0x3F800000
+DATA exp32consts<>+348(SB)/4, $0x3F800000
+// +352: lo (8 x 0xC2AEAC4F)
+DATA exp32consts<>+352(SB)/4, $0xC2AEAC4F
+DATA exp32consts<>+356(SB)/4, $0xC2AEAC4F
+DATA exp32consts<>+360(SB)/4, $0xC2AEAC4F
+DATA exp32consts<>+364(SB)/4, $0xC2AEAC4F
+DATA exp32consts<>+368(SB)/4, $0xC2AEAC4F
+DATA exp32consts<>+372(SB)/4, $0xC2AEAC4F
+DATA exp32consts<>+376(SB)/4, $0xC2AEAC4F
+DATA exp32consts<>+380(SB)/4, $0xC2AEAC4F
+// +384: nine (8 x 0x41100000)
+DATA exp32consts<>+384(SB)/4, $0x41100000
+DATA exp32consts<>+388(SB)/4, $0x41100000
+DATA exp32consts<>+392(SB)/4, $0x41100000
+DATA exp32consts<>+396(SB)/4, $0x41100000
+DATA exp32consts<>+400(SB)/4, $0x41100000
+DATA exp32consts<>+404(SB)/4, $0x41100000
+DATA exp32consts<>+408(SB)/4, $0x41100000
+DATA exp32consts<>+412(SB)/4, $0x41100000
+// +416: neg2 (8 x 0xC0000000)
+DATA exp32consts<>+416(SB)/4, $0xC0000000
+DATA exp32consts<>+420(SB)/4, $0xC0000000
+DATA exp32consts<>+424(SB)/4, $0xC0000000
+DATA exp32consts<>+428(SB)/4, $0xC0000000
+DATA exp32consts<>+432(SB)/4, $0xC0000000
+DATA exp32consts<>+436(SB)/4, $0xC0000000
+DATA exp32consts<>+440(SB)/4, $0xC0000000
+DATA exp32consts<>+444(SB)/4, $0xC0000000
+// +448: i127 (8 x 0x0000007F)
+DATA exp32consts<>+448(SB)/4, $0x0000007F
+DATA exp32consts<>+452(SB)/4, $0x0000007F
+DATA exp32consts<>+456(SB)/4, $0x0000007F
+DATA exp32consts<>+460(SB)/4, $0x0000007F
+DATA exp32consts<>+464(SB)/4, $0x0000007F
+DATA exp32consts<>+468(SB)/4, $0x0000007F
+DATA exp32consts<>+472(SB)/4, $0x0000007F
+DATA exp32consts<>+476(SB)/4, $0x0000007F
+// +480: sign (8 x 0x80000000)
+DATA exp32consts<>+480(SB)/4, $0x80000000
+DATA exp32consts<>+484(SB)/4, $0x80000000
+DATA exp32consts<>+488(SB)/4, $0x80000000
+DATA exp32consts<>+492(SB)/4, $0x80000000
+DATA exp32consts<>+496(SB)/4, $0x80000000
+DATA exp32consts<>+500(SB)/4, $0x80000000
+DATA exp32consts<>+504(SB)/4, $0x80000000
+DATA exp32consts<>+508(SB)/4, $0x80000000
+// +512: abs (8 x 0x7FFFFFFF)
+DATA exp32consts<>+512(SB)/4, $0x7FFFFFFF
+DATA exp32consts<>+516(SB)/4, $0x7FFFFFFF
+DATA exp32consts<>+520(SB)/4, $0x7FFFFFFF
+DATA exp32consts<>+524(SB)/4, $0x7FFFFFFF
+DATA exp32consts<>+528(SB)/4, $0x7FFFFFFF
+DATA exp32consts<>+532(SB)/4, $0x7FFFFFFF
+DATA exp32consts<>+536(SB)/4, $0x7FFFFFFF
+DATA exp32consts<>+540(SB)/4, $0x7FFFFFFF
+GLOBL exp32consts<>(SB), RODATA|NOPTR, $544
+
+// Constant block offsets (each a 32-byte 8-lane broadcast).
+#define LOG2E 0
+#define HALF 32
+#define C1 64
+#define C2 96
+#define P0 128
+#define P1 160
+#define P2 192
+#define P3 224
+#define P4 256
+#define P5 288
+#define ONE 320
+#define LO 352
+#define NINE 384
+#define NEG2 416
+#define I127 448
+#define SIGN 480
+#define ABS 512
+
+// EXPCORE: Y0 = Exp32(Y0) lane-wise, for non-positive finite args (the only
+// args sigmoid/tanh produce; the Hi overflow clamp is therefore omitted).
+// Mirrors the scalar Exp32 step for step: round-to-nearest via the +/-0.5
+// sign trick then truncate, two-step Cody-Waite reduction, Horner polynomial
+// with separate VMULPS/VADDPS (gc emits separate mul+add, so no FMA), exponent
+// scale via integer add+shift, and the arg<Lo underflow clamp to 0. NaN args
+// propagate through the arithmetic. Clobbers Y1-Y5.
+#define EXPCORE \
+	VMOVUPS Y0, Y4 \
+	VMULPS exp32consts<>+LOG2E(SB), Y0, Y1 \
+	VANDPS exp32consts<>+SIGN(SB), Y1, Y2 \
+	VORPS exp32consts<>+HALF(SB), Y2, Y2 \
+	VADDPS Y2, Y1, Y1 \
+	VCVTTPS2DQ Y1, Y1 \
+	VCVTDQ2PS Y1, Y2 \
+	VMULPS exp32consts<>+C1(SB), Y2, Y3 \
+	VSUBPS Y3, Y0, Y0 \
+	VMULPS exp32consts<>+C2(SB), Y2, Y3 \
+	VSUBPS Y3, Y0, Y0 \
+	VMOVUPS exp32consts<>+P0(SB), Y3 \
+	VMULPS Y0, Y3, Y3 \
+	VADDPS exp32consts<>+P1(SB), Y3, Y3 \
+	VMULPS Y0, Y3, Y3 \
+	VADDPS exp32consts<>+P2(SB), Y3, Y3 \
+	VMULPS Y0, Y3, Y3 \
+	VADDPS exp32consts<>+P3(SB), Y3, Y3 \
+	VMULPS Y0, Y3, Y3 \
+	VADDPS exp32consts<>+P4(SB), Y3, Y3 \
+	VMULPS Y0, Y3, Y3 \
+	VADDPS exp32consts<>+P5(SB), Y3, Y3 \
+	VMULPS Y0, Y0, Y2 \
+	VMULPS Y2, Y3, Y3 \
+	VADDPS Y0, Y3, Y3 \
+	VADDPS exp32consts<>+ONE(SB), Y3, Y3 \
+	VPADDD exp32consts<>+I127(SB), Y1, Y1 \
+	VPSLLD $23, Y1, Y1 \
+	VMULPS Y1, Y3, Y0 \
+	VCMPPS $1, exp32consts<>+LO(SB), Y4, Y2 \
+	VXORPS Y5, Y5, Y5 \
+	VBLENDVPS Y2, Y5, Y0, Y0
+
+// func cpuHasAVX2() bool
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	MOVQ BX, R15
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	MOVL BX, AX
+	MOVQ R15, BX
+	SHRL $5, AX
+	ANDL $1, AX
+	MOVB AX, ret+0(FP)
+	RET
+
+// func sigmoidVecAVX(dst, src *float32, n int)
+// dst[i] = Sigmoid32(src[i]) for i in [0, n&^7); the caller handles the tail.
+// Both scalar branches (1/(1+e) and e/(1+e), e = exp(-|x|)) are computed and
+// selected per lane by x's sign bit, matching the scalar x >= 0 test
+// (x = -0 picks the other branch but both yield 0.5 exactly). NaN lanes
+// return x+x — quietened with sign preserved, exactly what the scalar
+// arithmetic path produces.
+TEXT ·sigmoidVecAVX(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ BX, BX
+sigloop:
+	LEAQ 8(BX), DX
+	CMPQ DX, CX
+	JGT  sigdone
+	VMOVUPS (SI)(BX*4), Y6
+	VANDPS exp32consts<>+ABS(SB), Y6, Y7
+	VORPS exp32consts<>+SIGN(SB), Y7, Y0
+	EXPCORE
+	VADDPS exp32consts<>+ONE(SB), Y0, Y1
+	VMOVUPS exp32consts<>+ONE(SB), Y2
+	VDIVPS Y1, Y2, Y2
+	VDIVPS Y1, Y0, Y3
+	VBLENDVPS Y6, Y3, Y2, Y0
+	VCMPPS $3, Y6, Y6, Y1
+	VADDPS Y6, Y6, Y2
+	VBLENDVPS Y1, Y2, Y0, Y0
+	VMOVUPS Y0, (DI)(BX*4)
+	MOVQ DX, BX
+	JMP sigloop
+sigdone:
+	VZEROUPPER
+	RET
+
+// func tanhVecAVX(dst, src *float32, n int)
+// dst[i] = Tanh32(src[i]) for i in [0, n&^7); the caller handles the tail.
+// r = (1-e)/(1+e) with e = exp(-2|x|); the sign is restored only where
+// x < 0 strictly (the scalar test — so tanh(-0) = +0), |x| > 9 saturates
+// to +/-1, and NaN passes through raw (the scalar early-return).
+TEXT ·tanhVecAVX(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ BX, BX
+tanhloop:
+	LEAQ 8(BX), DX
+	CMPQ DX, CX
+	JGT  tanhdone
+	VMOVUPS (SI)(BX*4), Y6
+	VANDPS exp32consts<>+ABS(SB), Y6, Y7
+	VMULPS exp32consts<>+NEG2(SB), Y7, Y0
+	EXPCORE
+	VMOVUPS exp32consts<>+ONE(SB), Y2
+	VSUBPS Y0, Y2, Y1
+	VADDPS exp32consts<>+ONE(SB), Y0, Y2
+	VDIVPS Y2, Y1, Y1
+	VXORPS Y3, Y3, Y3
+	VCMPPS $1, Y3, Y6, Y3
+	VANDPS exp32consts<>+SIGN(SB), Y3, Y3
+	VORPS Y3, Y1, Y1
+	VCMPPS $0x0e, exp32consts<>+NINE(SB), Y7, Y2
+	VORPS exp32consts<>+ONE(SB), Y3, Y4
+	VBLENDVPS Y2, Y4, Y1, Y1
+	VCMPPS $3, Y6, Y6, Y2
+	VBLENDVPS Y2, Y6, Y1, Y0
+	VMOVUPS Y0, (DI)(BX*4)
+	MOVQ DX, BX
+	JMP tanhloop
+tanhdone:
+	VZEROUPPER
+	RET

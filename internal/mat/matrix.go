@@ -3,6 +3,14 @@
 // and the gradient-boosted trees). It is deliberately minimal: row-major
 // float64 matrices with the handful of operations neural-network training
 // needs, implemented with bounds-checked shapes so dimension bugs fail fast.
+//
+// Non-finite policy: every kernel follows IEEE-754 propagation — a NaN or
+// Inf operand always reaches the result (0×Inf = NaN, 0×NaN = NaN), even
+// when the other operand is zero. No kernel may skip work in a way that
+// could swallow a non-finite contribution; an overflowing gradient must
+// surface as NaN/Inf at the output, not silently vanish because it was
+// multiplied by a structural zero. This matters most for the float32
+// training fast path, which can overflow where float64 did not.
 package mat
 
 import (
@@ -19,19 +27,31 @@ type Matrix struct {
 
 // New returns a zero matrix with the given shape.
 func New(rows, cols int) *Matrix {
-	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
-	}
+	checkDims(rows, cols)
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
 
 // FromSlice returns a matrix that adopts data as its backing storage.
 // len(data) must equal rows*cols.
 func FromSlice(rows, cols int, data []float64) *Matrix {
+	checkDims(rows, cols)
 	if len(data) != rows*cols {
 		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), rows, cols))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// checkDims rejects negative shapes and shapes whose element count
+// overflows int — without the product guard, rows*cols wraps around, the
+// backing slice gets a wrong (possibly tiny) size, and indexing mis-maps
+// instead of failing fast.
+func checkDims(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	if cols != 0 && rows > math.MaxInt/cols {
+		panic(fmt.Sprintf("mat: dimensions %dx%d overflow int", rows, cols))
+	}
 }
 
 // Randn returns a matrix with entries drawn from N(0, scale²).
@@ -92,7 +112,9 @@ func (m *Matrix) checkSameShape(n *Matrix, op string) {
 	}
 }
 
-// Mul computes a*b and returns a new matrix.
+// Mul computes a*b and returns a new matrix. Every a[i][k]*b[k][j] product
+// is accumulated — there is no zero-skip shortcut — so a non-finite entry in
+// either operand propagates to the result per the package policy.
 func Mul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: mul shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -102,9 +124,6 @@ func Mul(a, b *Matrix) *Matrix {
 		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
 		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
 		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
 			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
 			for j, bv := range brow {
 				orow[j] += av * bv
@@ -173,7 +192,8 @@ func MulVecAccum(dst []float64, a *Matrix, x []float64) {
 }
 
 // MulVecTInto computes dst = aᵀ*x without allocating (len(dst) == a.Cols),
-// with the same accumulation order as MulVecT.
+// with the same accumulation order as MulVecT. Rows whose x entry is zero
+// are still accumulated so non-finite matrix entries propagate.
 func MulVecTInto(dst []float64, a *Matrix, x []float64) {
 	if a.Rows != len(x) || a.Cols != len(dst) {
 		panic(fmt.Sprintf("mat: mulvecTinto shape mismatch %d = %dx%dᵀ * %d", len(dst), a.Rows, a.Cols, len(x)))
@@ -182,9 +202,6 @@ func MulVecTInto(dst []float64, a *Matrix, x []float64) {
 		dst[j] = 0
 	}
 	for i, xv := range x {
-		if xv == 0 {
-			continue
-		}
 		row := a.Data[i*a.Cols : (i+1)*a.Cols]
 		for j, v := range row {
 			dst[j] += v * xv
@@ -192,15 +209,15 @@ func MulVecTInto(dst []float64, a *Matrix, x []float64) {
 	}
 }
 
-// AddOuter accumulates the outer product x*yᵀ into m (m += x yᵀ).
+// AddOuter accumulates the outer product x*yᵀ into m (m += x yᵀ). Zero x
+// entries still multiply through so a non-finite y propagates (adding the
+// resulting ±0 product cannot change any finite accumulator that training
+// can produce: sums seeded from +0 never round to -0).
 func (m *Matrix) AddOuter(x, y []float64) {
 	if m.Rows != len(x) || m.Cols != len(y) {
 		panic(fmt.Sprintf("mat: addouter shape mismatch %dx%d += %dx%d", m.Rows, m.Cols, len(x), len(y)))
 	}
 	for i, xv := range x {
-		if xv == 0 {
-			continue
-		}
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		for j, yv := range y {
 			row[j] += xv * yv

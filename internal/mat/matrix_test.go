@@ -361,3 +361,29 @@ func TestIntoKernelsPanicOnShapeMismatch(t *testing.T) {
 		}()
 	}
 }
+
+// rows*cols overflowing int must panic instead of allocating a wrong-sized
+// (wrapped-around) backing slice that would mis-index later.
+func TestDimensionOverflowPanics(t *testing.T) {
+	huge := math.MaxInt/2 + 1
+	for name, fn := range map[string]func(){
+		"New":       func() { New(huge, 4) },
+		"FromSlice": func() { FromSlice(huge, 4, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with overflowing dimensions did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Degenerate-but-valid shapes must still work.
+	if m := New(0, 5); len(m.Data) != 0 {
+		t.Errorf("New(0,5) allocated %d elements", len(m.Data))
+	}
+	if m := New(5, 0); len(m.Data) != 0 {
+		t.Errorf("New(5,0) allocated %d elements", len(m.Data))
+	}
+}

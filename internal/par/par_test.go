@@ -17,8 +17,11 @@ func TestWorkersResolution(t *testing.T) {
 	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
 		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
 	}
-	if got := Workers(7); got != 7 {
-		t.Fatalf("Workers(7) = %d", got)
+	if got, want := Workers(7), min(7, runtime.GOMAXPROCS(0)); got != want {
+		t.Fatalf("Workers(7) = %d, want %d (capped at GOMAXPROCS)", got, want)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d, want 1", got)
 	}
 }
 

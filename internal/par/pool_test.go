@@ -3,6 +3,7 @@ package par
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -83,8 +84,8 @@ func TestMapOnSharesOneBudget(t *testing.T) {
 }
 
 func TestPoolSlots(t *testing.T) {
-	if got := NewPool(5).Slots(); got != 5 {
-		t.Fatalf("Slots() = %d, want 5", got)
+	if got, want := NewPool(5).Slots(), min(5, runtime.GOMAXPROCS(0)); got != want {
+		t.Fatalf("Slots() = %d, want %d (capped at GOMAXPROCS)", got, want)
 	}
 	if got := NewPool(0).Slots(); got < 1 {
 		t.Fatalf("Slots() = %d for default pool, want >= 1", got)
