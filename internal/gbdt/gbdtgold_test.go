@@ -1,0 +1,35 @@
+package gbdt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestGBDTGoldHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := 400
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		v := make([]float64, 6)
+		for j := range v {
+			// Quantize to force many ties in the sort keys.
+			v[j] = float64(rng.Intn(8)) / 8
+		}
+		x[i] = v
+		y[i] = rng.Intn(3)
+	}
+	c, err := Train(x, y, Config{Classes: 3, Rounds: 10, MaxDepth: 4, LearningRate: 0.2, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	for i := range x {
+		p := c.PredictProbs(x[i])
+		binary.Write(h, binary.LittleEndian, p)
+	}
+	fmt.Println("GBDTHASH", fmt.Sprintf("%x", h.Sum(nil)))
+}
