@@ -13,6 +13,7 @@ import (
 
 	"leakydnn/internal/attack"
 	"leakydnn/internal/eval"
+	"leakydnn/internal/fleet"
 	"leakydnn/internal/gbdt"
 	"leakydnn/internal/gpu"
 	"leakydnn/internal/lstm"
@@ -376,7 +377,7 @@ func benchCollectWorkers(b *testing.B, workers int) {
 	sc := benchScale()
 	sc.Workers = workers
 	for i := 0; i < b.N; i++ {
-		traces, err := sc.CollectTraces(sc.Profiled, sc.Seed+100)
+		traces, err := sc.CollectTraces(sc.Profiled, eval.StreamProfiled)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -388,6 +389,37 @@ func benchCollectWorkers(b *testing.B, workers int) {
 
 func BenchmarkCollectTracesWorkers1(b *testing.B) { benchCollectWorkers(b, 1) }
 func BenchmarkCollectTracesWorkers4(b *testing.B) { benchCollectWorkers(b, 4) }
+
+// benchFleetCollect runs a collect-only fleet — eight heterogeneous devices,
+// one victim+spy engine each, all real work on one shared pool — under a
+// fixed worker budget. The aggregate slices/sec metric is the fleet's
+// headline simulator throughput; comparing the Workers1/Workers4 variants
+// measures the device fan-out's speedup (expect ~linear scaling on a
+// multi-core runner, and byte-identical per-device traces at any setting —
+// the fleet package's golden-hash tests pin that).
+func benchFleetCollect(b *testing.B, workers int) {
+	sc := benchScale()
+	sc.Workers = workers
+	cfg := fleet.Config{Base: sc, Devices: 8, CollectOnly: true}
+	totalSlices := 0
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := fleet.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalSchedSlices == 0 {
+			b.Fatal("fleet simulated no scheduler grants")
+		}
+		totalSlices += res.TotalSchedSlices
+	}
+	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(totalSlices)/elapsed, "slices/sec")
+	}
+}
+
+func BenchmarkFleetCollectWorkers1(b *testing.B) { benchFleetCollect(b, 1) }
+func BenchmarkFleetCollectWorkers4(b *testing.B) { benchFleetCollect(b, 4) }
 
 // benchWorkbench builds the full pipelined Workbench — profiled and tested
 // collection on one shared pool, training overlapped with the tested set —
@@ -429,7 +461,7 @@ func benchTrainModels(b *testing.B, workers int) {
 	// setting, left most of that on the table.
 	sc.Attack.Batch = 8
 	sc.Attack.Precision = lstm.PrecisionFP32
-	profiled, err := sc.CollectTraces(sc.Profiled, sc.Seed+100)
+	profiled, err := sc.CollectTraces(sc.Profiled, eval.StreamProfiled)
 	if err != nil {
 		b.Fatal(err)
 	}

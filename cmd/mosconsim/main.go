@@ -14,6 +14,7 @@ import (
 	"leakydnn/internal/chaos"
 	"leakydnn/internal/dnn"
 	"leakydnn/internal/eval"
+	"leakydnn/internal/fleet"
 	"leakydnn/internal/lstm"
 	"leakydnn/internal/trace"
 )
@@ -29,7 +30,7 @@ func run() error {
 	var (
 		scaleName = flag.String("scale", "tiny", "experiment scale: tiny, mid, paper")
 		victimIdx = flag.Int("victim", -1, "tested-model index to attack (-1 = all)")
-		seed      = flag.Int64("seed", 1, "simulation seed")
+		seed      = flag.Int64("seed", 0, "simulation seed (0 = the scale's default)")
 		verbose   = flag.Bool("v", false, "print per-sample letters")
 		saveFile  = flag.String("save", "", "save the trained model set to this file")
 		loadFile  = flag.String("load", "", "load a previously saved model set instead of training")
@@ -58,6 +59,11 @@ func run() error {
 
 		saveTraces = flag.String("save-traces", "", "stream the victim traces to this file after collection")
 		loadTraces = flag.String("load-traces", "", "load victim traces from this file instead of re-collecting (chaos/sched flags are ignored)")
+
+		fleetN = flag.Int("fleet", 0,
+			"run a fleet of N independently seeded devices (heterogeneous classes and tenancy mixes, one attack per device) instead of the single-device pipeline")
+		fleetBudget = flag.Int("fleet-budget", 0,
+			"with -fleet: total slow-down channels shared across all devices (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -65,7 +71,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	sc.Seed = *seed
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
 	sc.Workers = *workers
 	sc.Attack.Batch = *batch
 	switch *precision {
@@ -119,6 +127,21 @@ func run() error {
 		}
 	}
 
+	if *fleetN > 0 {
+		fmt.Printf("== MoSConS fleet: %d devices (%s scale) ==\n", *fleetN, sc.Name)
+		res, err := fleet.Run(fleet.Config{
+			Base:      sc,
+			Devices:   *fleetN,
+			SpyBudget: *fleetBudget,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(fleet.RenderRollup(res.Devices))
+		fmt.Printf("aggregate scheduler grants: %d\n", res.TotalSchedSlices)
+		return nil
+	}
+
 	fmt.Printf("== MoSConS end-to-end (%s scale) ==\n", sc.Name)
 
 	var models *attack.Models
@@ -164,7 +187,7 @@ func run() error {
 			fmt.Printf("re-collecting victim traces under fault plan (measurement %.2f, scheduler %.2f blend)\n",
 				*chaosIntensity, *schedIntensity)
 		}
-		tested, err = scVictim.CollectTraces(scVictim.Tested, scVictim.Seed+900)
+		tested, err = scVictim.CollectTraces(scVictim.Tested, eval.StreamTested)
 		if err != nil {
 			return err
 		}

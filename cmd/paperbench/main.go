@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"leakydnn/internal/eval"
+	"leakydnn/internal/fleet"
 	"leakydnn/internal/lstm"
 )
 
@@ -21,7 +22,7 @@ var experiments = []string{
 	"table1", "table2", "fig2", "fig3", "table6", "gapsweep",
 	"table7", "table8", "table9", "slowdown", "sweep", "defense",
 	"baseline", "shortcut", "rnn", "multitenant", "ablations",
-	"robustness",
+	"robustness", "fleet",
 }
 
 func main() {
@@ -35,7 +36,7 @@ func run() error {
 	var (
 		expName   = flag.String("exp", "all", "experiment: all, "+strings.Join(experiments, ", "))
 		scaleName = flag.String("scale", "tiny", "platform scale: tiny, mid, paper")
-		seed      = flag.Int64("seed", 1, "simulation seed")
+		seed      = flag.Int64("seed", 0, "simulation seed (0 = the scale's default)")
 		samples   = flag.Int("samples", 60, "samples per pilot-table cell")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"evaluation and training worker-pool size (results are identical for any value; 1 runs serially)")
@@ -43,6 +44,10 @@ func run() error {
 			"LSTM minibatch size: sequences per optimizer step (0 = 1, the per-sequence schedule)")
 		precision = flag.String("precision", "fp64",
 			"LSTM training arithmetic: fp64 (bit-reproducible historical trajectories) or fp32 (faster, separately deterministic)")
+		fleetDevices = flag.Int("fleet-devices", 6,
+			"fleet experiment: largest device count (the grid reports prefixes of one run)")
+		fleetBudget = flag.Int("fleet-budget", 0,
+			"fleet experiment: total slow-down channels shared across devices (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -50,7 +55,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	sc.Seed = *seed
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
 	sc.Workers = *workers
 	sc.Attack.Batch = *batch
 	switch *precision {
@@ -225,6 +232,19 @@ func run() error {
 				return err
 			}
 			fmt.Print(res.Render())
+		case "fleet":
+			counts := []int{*fleetDevices}
+			if *fleetDevices >= 2 {
+				counts = []int{*fleetDevices / 2, *fleetDevices}
+			}
+			g, err := fleet.AccuracyGrid(fleet.Config{
+				Base:      sc,
+				SpyBudget: *fleetBudget,
+			}, counts)
+			if err != nil {
+				return err
+			}
+			fmt.Print(g.Render())
 		case "robustness":
 			wb, err := bench()
 			if err != nil {

@@ -24,9 +24,10 @@ func AblationSlowdown(sc Scale) (*SlowdownAblation, error) {
 	if len(sc.Tested) == 0 {
 		return nil, fmt.Errorf("eval: no tested models")
 	}
-	// The two co-runs are independent (seeds +400/+401), so they fan out.
+	// The two co-runs are independent (indices 0/1 of their stream), so they
+	// fan out.
 	traces, err := par.Map(sc.Workers, 2, func(i int) (*trace.Trace, error) {
-		return trace.Collect(sc.Tested[0], sc.RunConfig(sc.Seed+400+int64(i), i == 0))
+		return trace.Collect(sc.Tested[0], sc.RunConfig(sc.StreamSeed(StreamAblationSlowdown, i), i == 0))
 	})
 	if err != nil {
 		return nil, err
@@ -155,11 +156,11 @@ type WeightedLossAblation struct {
 // one with the class-imbalance weighting, one without — and compares voted
 // op accuracy on the first tested trace.
 func AblationWeightedLoss(sc Scale) (*WeightedLossAblation, error) {
-	profiled, err := sc.CollectTraces(sc.Profiled, sc.Seed+100)
+	profiled, err := sc.CollectTraces(sc.Profiled, StreamProfiled)
 	if err != nil {
 		return nil, err
 	}
-	tested, err := trace.Collect(sc.Tested[0], sc.RunConfig(sc.Seed+900, true))
+	tested, err := trace.Collect(sc.Tested[0], sc.RunConfig(sc.StreamSeed(StreamTested, 0), true))
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +217,7 @@ func AblationCounterGroups(sc Scale) (*CounterGroupAblation, error) {
 			return cfg
 		}
 		profiled, err := par.Map(sc.Workers, len(sc.Profiled), func(i int) (*trace.Trace, error) {
-			return trace.Collect(sc.Profiled[i], cfgOf(sc.Seed+500+int64(i)))
+			return trace.Collect(sc.Profiled[i], cfgOf(sc.StreamSeed(StreamCounterAblation, i)))
 		})
 		if err != nil {
 			return 0, err
@@ -225,7 +226,7 @@ func AblationCounterGroups(sc Scale) (*CounterGroupAblation, error) {
 		if err != nil {
 			return 0, err
 		}
-		victim, err := trace.Collect(sc.Tested[len(sc.Tested)-1], cfgOf(sc.Seed+550))
+		victim, err := trace.Collect(sc.Tested[len(sc.Tested)-1], cfgOf(sc.StreamSeed(StreamCounterAblationVictim, 0)))
 		if err != nil {
 			return 0, err
 		}
@@ -296,10 +297,9 @@ func (w *Workbench) MultiTenant() (*MultiTenantResult, error) {
 		return acc, nil
 	}
 
-	// Three independent co-runs (seeds +9100/+9200/+9300) against read-only
-	// trained models.
+	// Three independent co-runs against read-only trained models.
 	accs, err := par.Map(w.Scale.Workers, 3, func(i int) (float64, error) {
-		return score(i, w.Scale.Seed+9100+int64(i)*100)
+		return score(i, w.Scale.StreamSeed(StreamMultiTenant, i))
 	})
 	if err != nil {
 		return nil, err

@@ -103,16 +103,16 @@ func (w *Workbench) GapSweep(batches, sides []int) (*GapSweepResult, error) {
 		return nil, fmt.Errorf("eval: no tested models")
 	}
 	base := w.Scale.Tested[len(w.Scale.Tested)-1]
-	// Seeds advance only across *valid* variants, so the grid is pre-scanned
-	// serially (validation is cheap) before the co-runs fan out; this keeps
-	// every variant's seed identical to what the serial sweep assigned.
+	// Stream indices advance only across *valid* variants, so the grid is
+	// pre-scanned serially (validation is cheap) before the co-runs fan out;
+	// this keeps every variant's seed identical to what the serial sweep
+	// assigned.
 	type task struct {
 		batch, side int
 		variant     dnn.Model
 		seed        int64
 	}
 	var tasks []task
-	seed := w.Scale.Seed + 3000
 	for _, batch := range batches {
 		for _, side := range sides {
 			variant := zoo.Scale(base, side, batch)
@@ -120,7 +120,7 @@ func (w *Workbench) GapSweep(batches, sides []int) (*GapSweepResult, error) {
 			if _, err := variant.Validate(); err != nil {
 				continue // pool depth can exceed tiny inputs; skip illegal combos
 			}
-			seed++
+			seed := w.Scale.StreamSeed(StreamGapSweep, len(tasks))
 			tasks = append(tasks, task{batch: batch, side: side, variant: variant, seed: seed})
 		}
 	}

@@ -33,7 +33,6 @@ func (w *Workbench) CompareBaseline() (*BaselineComparison, error) {
 		Iterations: w.Scale.Iterations,
 		IterGap:    w.Scale.IterGap,
 		TimeScale:  w.Scale.TimeScale,
-		Seed:       w.Scale.Seed + 8000,
 	}
 
 	// Profile the baseline's centroids over candidate neuron counts that
@@ -45,7 +44,7 @@ func (w *Workbench) CompareBaseline() (*BaselineComparison, error) {
 		variant.Name = fmt.Sprintf("baseline-prof-%d", n)
 		variant.Layers = append([]dnn.Layer(nil), victim.Layers...)
 		variant.Layers[0].Neurons = n
-		obs, err := baseline.Collect(variant, withSeed(bcfg, bcfg.Seed+int64(i)+1))
+		obs, err := baseline.Collect(variant, withSeed(bcfg, w.Scale.StreamSeed(StreamBaselineProfiled, i)))
 		if err != nil {
 			return nil, err
 		}
@@ -56,7 +55,7 @@ func (w *Workbench) CompareBaseline() (*BaselineComparison, error) {
 		return nil, err
 	}
 
-	victimObs, err := baseline.Collect(victim, withSeed(bcfg, bcfg.Seed+50))
+	victimObs, err := baseline.Collect(victim, withSeed(bcfg, w.Scale.StreamSeed(StreamBaselineVictim, 0)))
 	if err != nil {
 		return nil, err
 	}

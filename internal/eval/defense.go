@@ -58,7 +58,7 @@ func (w *Workbench) EvaluateDefenses(quantStep, noiseFrac float64) (*DefenseResu
 			}
 			return score(fmt.Sprintf("quantize(step=%g)", quantStep), quantized, baselineSPI)
 		case 2:
-			noised, err := defense.NoiseSamples(base.Samples, noiseFrac, w.Scale.Seed+600)
+			noised, err := defense.NoiseSamples(base.Samples, noiseFrac, w.Scale.StreamSeed(StreamDefenseNoise, 0))
 			if err != nil {
 				return DefenseRow{}, err
 			}
@@ -71,7 +71,7 @@ func (w *Workbench) EvaluateDefenses(quantStep, noiseFrac float64) (*DefenseResu
 			if err != nil {
 				return DefenseRow{}, err
 			}
-			cfg := w.Scale.RunConfig(w.Scale.Seed+700, true)
+			cfg := w.Scale.RunConfig(w.Scale.StreamSeed(StreamDefenseHardened, 0), true)
 			cfg.Device = hardened
 			hardTrace, err := trace.Collect(base.Model, cfg)
 			if err != nil {

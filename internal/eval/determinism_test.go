@@ -60,11 +60,11 @@ func TestCollectTracesDeterministic(t *testing.T) {
 	parallel := Tiny()
 	parallel.Workers = 8
 
-	a, err := serial.CollectTraces(serial.Tested, serial.Seed+900)
+	a, err := serial.CollectTraces(serial.Tested, StreamTested)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := parallel.CollectTraces(parallel.Tested, parallel.Seed+900)
+	b, err := parallel.CollectTraces(parallel.Tested, StreamTested)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,17 +9,21 @@ import (
 	"leakydnn/internal/chaos"
 )
 
-// goldenTestedTracesSHA256 is the hash of the tiny-scale tested traces as
-// collected before the chaos subsystem existed. A zero chaos.Plan must keep
-// the measurement path byte-identical to that pre-fault-injection build: if
-// this test fails, plumbing the injector through trace.Collect has perturbed
-// clean runs, which breaks every previously published table.
-const goldenTestedTracesSHA256 = "5c88e83ddb8b223df8d9e4b01fe53680d3a016d8fd2e0013a7d1be087eac7630"
+// goldenTestedTracesSHA256 pins the tiny-scale tested traces byte-for-byte.
+// A zero chaos.Plan must keep the measurement path identical to this
+// baseline: if this test fails, something (fault-injection plumbing, engine
+// refactors, scheduler changes) has perturbed clean runs, which breaks every
+// previously published table. Re-baselined once when per-collection seeds
+// moved from additive offsets to keyed splitmix64 derivation (StreamSeed)
+// and Tiny's base seed was re-tuned for the new scheme — that change
+// renumbers every stream by design; within the derived-seed scheme the hash
+// is load-bearing and must not drift.
+const goldenTestedTracesSHA256 = "c64d010a2c91dfdc76fa9e5c4e99728816d19338a813722198355ac4e965bfe2"
 
 func hashTraces(t *testing.T, sc Scale) string {
 	t.Helper()
 	h := sha256.New()
-	traces, err := sc.CollectTraces(sc.Tested, sc.Seed+900)
+	traces, err := sc.CollectTraces(sc.Tested, StreamTested)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -117,7 +117,7 @@ func Table8(sc Scale, kinds []attack.HPKind) (*Table8Result, error) {
 	if len(variants) == 0 {
 		return nil, fmt.Errorf("eval: no hyper-parameter variants at scale %q", sc.Name)
 	}
-	trainTraces, err := sc.CollectTraces(variants, sc.Seed+5000)
+	trainTraces, err := sc.CollectTraces(variants, StreamHPTrain)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +125,7 @@ func Table8(sc Scale, kinds []attack.HPKind) (*Table8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	testTraces, err := sc.CollectTraces(variants, sc.Seed+7000)
+	testTraces, err := sc.CollectTraces(variants, StreamHPTest)
 	if err != nil {
 		return nil, err
 	}

@@ -139,7 +139,7 @@ func Table1(sc Scale, samplesPerCell int) (*Table1Result, error) {
 	}
 	kinds := spy.Kinds()
 	rows, err := par.Map(sc.Workers, len(kinds), func(i int) (Table1Row, error) {
-		samples, err := sc.pilotSamples(kinds[i], &victim, samplesPerCell, sc.Seed+20+int64(i))
+		samples, err := sc.pilotSamples(kinds[i], &victim, samplesPerCell, sc.StreamSeed(StreamPilotSpy, i))
 		if err != nil {
 			return Table1Row{}, err
 		}
@@ -194,15 +194,15 @@ func Table2(sc Scale, samplesPerCell int) (*Table2Result, error) {
 		{"BiasAdd", dnn.OpBiasAdd},
 		{"Sigmoid", dnn.OpSigmoid},
 	}
-	// The last task is the NOP row (idle victim, seed +60).
+	// The last task is the NOP row (idle victim, the stream's last index).
 	rows, err := par.Map(sc.Workers, len(victims)+1, func(i int) (Table2Row, error) {
-		name, kernel, seed := "NOP", (*gpu.KernelProfile)(nil), sc.Seed+60
+		name, kernel, seed := "NOP", (*gpu.KernelProfile)(nil), sc.StreamSeed(StreamPilotVictim, len(victims))
 		if i < len(victims) {
 			k, err := sc.victimOpKernel(victims[i].kind)
 			if err != nil {
 				return Table2Row{}, err
 			}
-			name, kernel, seed = victims[i].name, &k, sc.Seed+40+int64(i)
+			name, kernel, seed = victims[i].name, &k, sc.StreamSeed(StreamPilotVictim, i)
 		}
 		samples, err := sc.pilotSamples(spy.Conv200, kernel, samplesPerCell, seed)
 		if err != nil {
@@ -289,7 +289,7 @@ func FigSampling(sc Scale, mps bool) (*FigSamplingResult, error) {
 	}
 
 	mode := "time-sliced"
-	rng := rand.New(rand.NewSource(sc.Seed + 70))
+	rng := rand.New(rand.NewSource(sc.StreamSeed(StreamFigSampling, 0)))
 	if mps {
 		mode = "MPS"
 		eng, err := gpu.NewMPSEngine(sc.Device, rng, sess.Source())

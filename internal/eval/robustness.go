@@ -107,11 +107,11 @@ func (w *Workbench) robustnessCell(intensity, schedIntensity float64) (*Robustne
 		collectErr error
 		extractErr error
 	}
-	// Same seed base as the workbench's clean tested collection, so each
+	// Same seed stream as the workbench's clean tested collection, so each
 	// cell perturbs the same underlying co-runs and the sweep isolates
 	// the fault effect from seed-to-seed variance.
 	outs, err := par.Map(sc.Workers, len(sc.Tested), func(i int) (victim, error) {
-		tr, err := trace.Collect(sc.Tested[i], sc.RunConfig(sc.Seed+900+int64(i), true))
+		tr, err := trace.Collect(sc.Tested[i], sc.RunConfig(sc.StreamSeed(StreamTested, i), true))
 		if err != nil {
 			return victim{collectErr: err}, nil
 		}

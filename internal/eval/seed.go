@@ -1,0 +1,94 @@
+package eval
+
+// SeedStream names one family of RNG seeds an experiment draws. Every
+// co-run's engine seed is derived as DeriveSeed(Scale.Seed, stream, index)
+// instead of the old additive offsets (Seed+900, Seed+3000, ...), which
+// collided as soon as Scales were cloned per device with small seed
+// increments: a fleet's device 0 at Seed+3000 sat inside device 3's base
+// stream. Keyed mixing spreads every (base, stream, index) triple across the
+// whole 64-bit seed space, so adjacent device bases share no derived stream.
+type SeedStream int64
+
+// The experiment streams. Values are arbitrary distinct keys (they feed a
+// mixer, not an offset), but they are part of the reproducibility surface:
+// renumbering a stream reshuffles that experiment's RNG draws and invalidates
+// golden hashes, exactly like changing a legacy offset did.
+const (
+	// StreamProfiled and StreamTested seed the workbench's two collections,
+	// indexed by model position.
+	StreamProfiled SeedStream = iota + 1
+	StreamTested
+	// StreamGapSweep seeds the §V-B batch/size sweep, indexed over valid
+	// variants in grid order.
+	StreamGapSweep
+	// StreamHPTrain and StreamHPTest seed Table VIII's two collections over
+	// the hyper-parameter variant models.
+	StreamHPTrain
+	StreamHPTest
+	// StreamBaselineProfiled and StreamBaselineVictim seed the CCS'18
+	// baseline comparison's collections.
+	StreamBaselineProfiled
+	StreamBaselineVictim
+	// StreamAblationSlowdown seeds the slow-down ablation's with/without
+	// co-runs.
+	StreamAblationSlowdown
+	// StreamCounterAblation and StreamCounterAblationVictim seed the CUPTI
+	// counter-group ablation; both scoring arms deliberately reuse the same
+	// derived seeds so the counter selection is the only difference.
+	StreamCounterAblation
+	StreamCounterAblationVictim
+	// StreamMultiTenant seeds the §VI limitation-5 co-runs, indexed by the
+	// number of extra tenants.
+	StreamMultiTenant
+	// StreamDefenseNoise and StreamDefenseHardened seed the §VI defense rows.
+	StreamDefenseNoise
+	StreamDefenseHardened
+	// StreamShortcut and StreamRNNStudy seed the §IV-C and §VI limitation-6
+	// case studies.
+	StreamShortcut
+	StreamRNNStudy
+	// StreamPilotSpy and StreamPilotVictim seed the Table I and Table II
+	// pilots (Table II's NOP row is the last victim index); StreamFigSampling
+	// seeds the Figure 2/3 comparison.
+	StreamPilotSpy
+	StreamPilotVictim
+	StreamFigSampling
+	// StreamSlowdownImpact seeds §V-F's five measurements;
+	// StreamSlowdownSweepBaseline the sweep's no-spy baseline;
+	// StreamSlowdownSweep the parameter grid in grid order.
+	StreamSlowdownImpact
+	StreamSlowdownSweepBaseline
+	StreamSlowdownSweep
+	// StreamFleetDevice derives each fleet device's base seed from the fleet
+	// seed; the device's own experiments then re-derive their streams from
+	// that base.
+	StreamFleetDevice
+)
+
+// splitmix64 is the finalizing mixer of Vigna's SplitMix64 generator: a
+// bijective avalanche over 64 bits, so distinct inputs can never collide and
+// single-bit input differences flip about half the output.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed mixes (base, stream, index) into an engine seed. Each component
+// passes through its own splitmix64 round (golden-ratio keyed, like the
+// engine's IsolateContextStreams), so bases that differ by 1 — adjacent
+// devices in a fleet — land in unrelated regions of seed space for every
+// stream and index.
+func DeriveSeed(base int64, stream SeedStream, index int64) int64 {
+	z := splitmix64(uint64(base))
+	z = splitmix64(z ^ uint64(stream)*0x9e3779b97f4a7c15)
+	z = splitmix64(z ^ uint64(index)*0xbf58476d1ce4e5b9)
+	return int64(z)
+}
+
+// StreamSeed derives the seed of the index-th co-run of the given stream at
+// this scale.
+func (sc Scale) StreamSeed(stream SeedStream, index int) int64 {
+	return DeriveSeed(sc.Seed, stream, int64(index))
+}

@@ -1,0 +1,68 @@
+package eval
+
+import "testing"
+
+// allStreams enumerates every named seed stream. Keep in sync with seed.go:
+// the disjointness test below walks this list, so a stream left out is a
+// stream whose collisions go unchecked.
+var allStreams = []SeedStream{
+	StreamProfiled, StreamTested, StreamGapSweep, StreamHPTrain, StreamHPTest,
+	StreamBaselineProfiled, StreamBaselineVictim, StreamAblationSlowdown,
+	StreamCounterAblation, StreamCounterAblationVictim, StreamMultiTenant,
+	StreamDefenseNoise, StreamDefenseHardened, StreamShortcut, StreamRNNStudy,
+	StreamPilotSpy, StreamPilotVictim, StreamFigSampling,
+	StreamSlowdownImpact, StreamSlowdownSweepBaseline, StreamSlowdownSweep,
+	StreamFleetDevice,
+}
+
+// The regression the additive scheme could never pass: devices seeded
+// base, base+1, ..., base+7 (exactly how a naive fleet numbers its devices)
+// must share no derived seed across any stream or index. Under the old
+// Seed+900 / Seed+3000 offsets, device base+k's stream collided with device
+// base's stream shifted by k, so adjacent devices replayed each other's
+// RNG trajectories.
+func TestDeriveSeedAdjacentBasesDisjoint(t *testing.T) {
+	const (
+		devices = 8
+		indices = 64
+	)
+	for _, base := range []int64{1, 42, -7, 1 << 40} {
+		seen := make(map[int64][3]int64, devices*len(allStreams)*indices)
+		for d := int64(0); d < devices; d++ {
+			for _, stream := range allStreams {
+				for idx := int64(0); idx < indices; idx++ {
+					s := DeriveSeed(base+d, stream, idx)
+					key := [3]int64{d, int64(stream), idx}
+					if prev, dup := seen[s]; dup {
+						t.Fatalf("base %d: seed collision %d between (dev %d, stream %d, idx %d) and (dev %d, stream %d, idx %d)",
+							base, s, prev[0], prev[1], prev[2], d, stream, idx)
+					}
+					seen[s] = key
+				}
+			}
+		}
+	}
+}
+
+// DeriveSeed must be a pure function of (base, stream, index) — StreamSeed
+// is just sugar over it — and distinct streams at the same base/index must
+// not alias.
+func TestStreamSeedMatchesDeriveSeed(t *testing.T) {
+	sc := Tiny()
+	for _, stream := range allStreams {
+		for idx := 0; idx < 4; idx++ {
+			want := DeriveSeed(sc.Seed, stream, int64(idx))
+			if got := sc.StreamSeed(stream, idx); got != want {
+				t.Fatalf("StreamSeed(%d, %d) = %d, want DeriveSeed result %d", stream, idx, got, want)
+			}
+		}
+	}
+	seen := make(map[int64]SeedStream)
+	for _, stream := range allStreams {
+		s := DeriveSeed(sc.Seed, stream, 0)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("streams %d and %d alias at index 0: %d", prev, stream, s)
+		}
+		seen[s] = stream
+	}
+}

@@ -140,8 +140,8 @@ func (sc Scale) spyThroughput(victimOn bool, seed int64) (float64, error) {
 }
 
 // SlowdownImpact measures the performance effects of §V-F. The five
-// measurements run on independently seeded engines (+80..+84) and fan out
-// across the worker pool.
+// measurements run on independently seeded engines (stream indices 0..4) and
+// fan out across the worker pool.
 func SlowdownImpact(sc Scale) (*SlowdownResult, error) {
 	type measurement struct {
 		iter gpu.Nanos
@@ -150,10 +150,10 @@ func SlowdownImpact(sc Scale) (*SlowdownResult, error) {
 	got, err := par.Map(sc.Workers, 5, func(i int) (measurement, error) {
 		switch i {
 		case 0, 1, 2:
-			t, err := sc.victimIterTime(i == 2, i != 0, sc.Seed+80+int64(i))
+			t, err := sc.victimIterTime(i == 2, i != 0, sc.StreamSeed(StreamSlowdownImpact, i))
 			return measurement{iter: t}, err
 		default:
-			thr, err := sc.spyThroughput(i == 4, sc.Seed+80+int64(i))
+			thr, err := sc.spyThroughput(i == 4, sc.StreamSeed(StreamSlowdownImpact, i))
 			return measurement{thr: thr}, err
 		}
 	})
@@ -195,7 +195,7 @@ type SweepPoint struct {
 // SlowdownSweep explores <#kernels, #blocks, #threads> like the paper's
 // hundreds-of-combinations search, demonstrating the slow-down upper bound.
 func SlowdownSweep(sc Scale, kernels, blocks, threads []int) ([]SweepPoint, error) {
-	baseline, err := sc.victimIterTime(false, false, sc.Seed+90)
+	baseline, err := sc.victimIterTime(false, false, sc.StreamSeed(StreamSlowdownSweepBaseline, 0))
 	if err != nil {
 		return nil, err
 	}
@@ -206,11 +206,10 @@ func SlowdownSweep(sc Scale, kernels, blocks, threads []int) ([]SweepPoint, erro
 		seed       int64
 	}
 	var tasks []task
-	seed := sc.Seed + 91
 	for _, nk := range kernels {
 		for _, nb := range blocks {
 			for _, nt := range threads {
-				seed++
+				seed := sc.StreamSeed(StreamSlowdownSweep, len(tasks))
 				tasks = append(tasks, task{nk: nk, nb: nb, nt: nt, seed: seed})
 			}
 		}

@@ -1,0 +1,340 @@
+// Package fleet scales the single-device MoSConS evaluation out to a
+// datacenter of victims: hundreds of independently seeded co-runs (one
+// victim + spy engine per device), heterogeneous device configurations and
+// tenancy mixes, a shared spy channel budget split across devices, and one
+// trained model set per victim. All devices share one par.Pool, so the fleet
+// saturates a multi-core host without oversubscribing it.
+//
+// The load-bearing contract is per-device determinism: device K's trace and
+// extraction are a pure function of its DeviceSpec, which itself depends
+// only on the base scale and K — never on how many other devices run
+// alongside it or how many workers execute them. Seeds come from the keyed
+// splitmix64 derivation (eval.DeriveSeed with StreamFleetDevice), and the
+// budget allocator is prefix-stable greedy, so growing the fleet or changing
+// the worker count leaves every existing device's results byte-identical.
+// The tests pin this with SHA-256 golden hashes.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"leakydnn/internal/attack"
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/eval"
+	"leakydnn/internal/gpu"
+	"leakydnn/internal/par"
+	"leakydnn/internal/trace"
+)
+
+// fullSlowdown is the complete slow-down deployment: the paper's eight
+// kernels. A device allocated this many (or an unlimited allocation) runs
+// the full attack.
+const fullSlowdown = 8
+
+// DeviceClass is one hardware/driver flavour in a heterogeneous fleet. Apply
+// derives the class's DeviceConfig from the base scale's (already
+// time-scaled) device.
+type DeviceClass struct {
+	Name  string
+	Apply func(gpu.DeviceConfig) gpu.DeviceConfig
+}
+
+// TenancyMix fixes how many background training tenants share a device with
+// the victim and the spy (§VI limitation 5's "more than two users").
+type TenancyMix struct {
+	Name    string
+	Tenants int
+}
+
+// DefaultClasses is a four-flavour fleet: stock hardware, a faster context
+// switcher, a smaller cache hierarchy, and a hardened scheduler whose
+// channel cap disarms the slow-down attack wholesale (§VI).
+func DefaultClasses() []DeviceClass {
+	return []DeviceClass{
+		{Name: "stock", Apply: func(d gpu.DeviceConfig) gpu.DeviceConfig { return d }},
+		{Name: "fastswitch", Apply: func(d gpu.DeviceConfig) gpu.DeviceConfig {
+			d.SwitchCost /= 2
+			d.SliceQuantum = d.SliceQuantum * 3 / 4
+			return d
+		}},
+		{Name: "smallcache", Apply: func(d gpu.DeviceConfig) gpu.DeviceConfig {
+			d.L2Bytes /= 2
+			d.TexCacheBytes /= 2
+			return d
+		}},
+		{Name: "capped", Apply: func(d gpu.DeviceConfig) gpu.DeviceConfig {
+			// Probe (1 channel) fits; the eight-kernel slow-down batch does
+			// not, so the all-or-nothing arming leaves this class probe-only.
+			d.MaxChannelsPerCtx = 6
+			return d
+		}},
+	}
+}
+
+// DefaultMixes covers the paper's two-user setting plus two heavier
+// co-locations.
+func DefaultMixes() []TenancyMix {
+	return []TenancyMix{
+		{Name: "solo", Tenants: 0},
+		{Name: "duo", Tenants: 1},
+		{Name: "quad", Tenants: 3},
+	}
+}
+
+// Config describes a fleet run.
+type Config struct {
+	// Base is the per-device experiment template. Base.Workers bounds the
+	// shared pool; Base.Seed is the root every device seed derives from.
+	Base eval.Scale
+	// Devices is the fleet size.
+	Devices int
+	// Classes and Mixes are cycled across devices (mixes fastest, so every
+	// small prefix already spans the tenancy axis). Nil selects the defaults.
+	Classes []DeviceClass
+	Mixes   []TenancyMix
+	// SpyBudget is the total number of slow-down channels the adversary may
+	// arm across the whole fleet (shared infrastructure quota). Devices are
+	// funded greedily in index order, eight channels each, so an existing
+	// device's allocation never changes when the fleet grows. Zero or
+	// negative means unlimited: every device runs the full attack.
+	SpyBudget int
+	// CollectOnly skips training and extraction: each device only runs its
+	// victim co-run. This is the benchmark mode — the engine's aggregate
+	// slice throughput without the attack pipeline on top.
+	CollectOnly bool
+}
+
+// DeviceSpec is one device's fully resolved plan entry: everything its run
+// depends on, and nothing that depends on the rest of the fleet.
+type DeviceSpec struct {
+	Index int
+	Name  string
+	Class string
+	Mix   string
+	// Tenants is the background-tenant count from the mix.
+	Tenants int
+	// Slowdown is the spy's channel allocation: -1 unlimited (full attack),
+	// 0 probe-only, 1..8 a capped deployment.
+	Slowdown int
+	// Scale is the per-device experiment: class-mutated device config and a
+	// derived seed. Scale.Seed = DeriveSeed(base, StreamFleetDevice, Index).
+	Scale eval.Scale
+	// Victim is this device's training workload.
+	Victim dnn.Model
+}
+
+// Plan expands a Config into per-device specs. The expansion is a pure
+// function of (Base, Devices, Classes, Mixes, SpyBudget) with the prefix
+// property: Plan(N+1)[:N] equals Plan(N) element for element.
+func Plan(cfg Config) ([]DeviceSpec, error) {
+	if cfg.Devices <= 0 {
+		return nil, fmt.Errorf("fleet: Devices must be >= 1, got %d", cfg.Devices)
+	}
+	if len(cfg.Base.Tested) == 0 {
+		return nil, fmt.Errorf("fleet: base scale %q has no tested models", cfg.Base.Name)
+	}
+	classes := cfg.Classes
+	if len(classes) == 0 {
+		classes = DefaultClasses()
+	}
+	mixes := cfg.Mixes
+	if len(mixes) == 0 {
+		mixes = DefaultMixes()
+	}
+	specs := make([]DeviceSpec, cfg.Devices)
+	for i := range specs {
+		class := classes[(i/len(mixes))%len(classes)]
+		mix := mixes[i%len(mixes)]
+		sc := cfg.Base
+		sc.Device = class.Apply(cfg.Base.Device)
+		sc.Seed = eval.DeriveSeed(cfg.Base.Seed, eval.StreamFleetDevice, int64(i))
+		alloc := -1
+		if cfg.SpyBudget > 0 {
+			// Greedy prefix-stable split: device i's share depends only on i
+			// and the budget, never on the fleet size.
+			remaining := cfg.SpyBudget - i*fullSlowdown
+			switch {
+			case remaining >= fullSlowdown:
+				alloc = fullSlowdown
+			case remaining > 0:
+				alloc = remaining
+			default:
+				alloc = 0
+			}
+		}
+		specs[i] = DeviceSpec{
+			Index:    i,
+			Name:     fmt.Sprintf("dev%03d-%s-%s", i, class.Name, mix.Name),
+			Class:    class.Name,
+			Mix:      mix.Name,
+			Tenants:  mix.Tenants,
+			Slowdown: alloc,
+			Scale:    sc,
+			Victim:   cfg.Base.Tested[i%len(cfg.Base.Tested)],
+		}
+	}
+	return specs, nil
+}
+
+// DeviceResult is one device's outcome.
+type DeviceResult struct {
+	Spec DeviceSpec
+	// LetterAcc, LayerAcc and HPAcc are the per-victim extraction
+	// accuracies (zero in CollectOnly mode or when extraction failed).
+	LetterAcc, LayerAcc, HPAcc float64
+	// SamplesPerIter is the spy's yield on this device.
+	SamplesPerIter float64
+	// Coverage and Health are the extraction- and collection-level
+	// degradation reports.
+	Coverage attack.Coverage
+	Health   *trace.Health
+	// SchedSlices counts the device engine's scheduler grants (the fleet
+	// benchmark's throughput numerator).
+	SchedSlices int
+	// TraceHash pins the victim trace's bytes; ExtractHash pins the
+	// recovered structure. Together they are the determinism contract.
+	TraceHash   string
+	ExtractHash string
+	// ExtractErr records a per-device extraction failure (a damaged trace
+	// is a result, not a fleet abort).
+	ExtractErr string
+}
+
+// Result is a whole fleet's outcome, in device-index order.
+type Result struct {
+	Devices []DeviceResult
+	// TotalSchedSlices aggregates the per-device engine grants.
+	TotalSchedSlices int
+}
+
+// Run plans and executes the fleet.
+func Run(cfg Config) (*Result, error) {
+	specs, err := Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunSpecs(cfg, specs)
+}
+
+// RunSpecs executes an explicit device list (tests use this to perturb one
+// device's spec and prove the others don't notice). Devices fan out on
+// private coordinator goroutines while every piece of real work — the victim
+// co-run, profiled collection, model training — executes on one shared pool
+// sized by Base.Workers. Coordinators only block on pool results, so total
+// CPU concurrency is the pool size and Workers is the fleet's genuine
+// throughput knob; results come back in device-index order.
+func RunSpecs(cfg Config, specs []DeviceSpec) (*Result, error) {
+	pool := par.NewPool(cfg.Base.Workers)
+	devices, err := par.Map(0, len(specs), func(i int) (DeviceResult, error) {
+		return runDevice(specs[i], pool, cfg.CollectOnly)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Devices: devices}
+	for _, d := range devices {
+		res.TotalSchedSlices += d.SchedSlices
+	}
+	return res, nil
+}
+
+// runDevice executes one device end to end: victim co-run under the device's
+// class, mix and spy allocation, then (unless collectOnly) a per-victim
+// model set trained on traces profiled on the same device class.
+func runDevice(spec DeviceSpec, pool *par.Pool, collectOnly bool) (DeviceResult, error) {
+	sc := spec.Scale
+	rcfg := sc.RunConfig(sc.StreamSeed(eval.StreamTested, 0), spec.Slowdown != 0)
+	if spec.Slowdown > 0 {
+		rcfg.Spy.SlowdownChannels = spec.Slowdown
+	}
+	for j := 0; j < spec.Tenants; j++ {
+		rcfg.BackgroundTenants = append(rcfg.BackgroundTenants, sc.Profiled[j%len(sc.Profiled)])
+	}
+	// The co-run executes as a pool task: the caller's goroutine is just a
+	// coordinator, so a 1-worker pool really does serialize the whole fleet.
+	victims, err := par.MapOn(pool, 1, func(int) (*trace.Trace, error) {
+		return trace.Collect(spec.Victim, rcfg)
+	})
+	if err != nil {
+		return DeviceResult{}, fmt.Errorf("fleet: %s: %w", spec.Name, err)
+	}
+	tr := victims[0]
+	res := DeviceResult{
+		Spec:        spec,
+		Health:      tr.Health,
+		SchedSlices: tr.SchedSlices,
+		TraceHash:   hashTrace(tr),
+	}
+	if sc.Iterations > 0 {
+		res.SamplesPerIter = float64(len(tr.Samples)) / float64(sc.Iterations)
+	}
+	if collectOnly {
+		return res, nil
+	}
+
+	profiled, err := par.MapOn(pool, len(sc.Profiled), func(i int) (*trace.Trace, error) {
+		ptr, perr := trace.Collect(sc.Profiled[i], sc.RunConfig(sc.StreamSeed(eval.StreamProfiled, i), true))
+		if perr != nil {
+			return nil, fmt.Errorf("fleet: %s: profile %s: %w", spec.Name, sc.Profiled[i].Name, perr)
+		}
+		return ptr, nil
+	})
+	if err != nil {
+		return DeviceResult{}, err
+	}
+	models, err := attack.TrainModels(profiled, sc.AttackConfig().WithPool(pool))
+	if err != nil {
+		return DeviceResult{}, fmt.Errorf("fleet: %s: train: %w", spec.Name, err)
+	}
+	rec, err := models.ExtractTrace(tr)
+	if err != nil {
+		res.ExtractErr = err.Error()
+		return res, nil
+	}
+	res.Coverage = rec.Coverage
+	res.LayerAcc, res.HPAcc = attack.LayerAccuracy(rec.Layers, tr.Model)
+	truth := attack.LetterTruth(tr.Labels(), rec.Base)
+	_, res.LetterAcc = attack.LetterAccuracy(rec.Letters, truth)
+	res.ExtractHash = hashRecovery(rec)
+	return res, nil
+}
+
+// hashTrace pins the measurement path: the same field enumeration as the
+// eval package's golden-trace hash, plus the scheduler grant count.
+func hashTrace(tr *trace.Trace) string {
+	h := sha256.New()
+	binary.Write(h, binary.LittleEndian, int64(len(tr.Samples)))
+	for _, s := range tr.Samples {
+		binary.Write(h, binary.LittleEndian, int64(s.Start))
+		binary.Write(h, binary.LittleEndian, int64(s.End))
+		for _, v := range s.Values {
+			binary.Write(h, binary.LittleEndian, v)
+		}
+	}
+	binary.Write(h, binary.LittleEndian, int64(tr.VictimWall))
+	binary.Write(h, binary.LittleEndian, int64(tr.SpyProbeLaunches))
+	binary.Write(h, binary.LittleEndian, int64(tr.SpyChannelsRejected))
+	binary.Write(h, binary.LittleEndian, int64(tr.SchedSlices))
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// hashRecovery pins the recovered structure: letters, op sequence, optimizer
+// and every layer's hyper-parameters.
+func hashRecovery(rec *attack.Recovery) string {
+	h := sha256.New()
+	h.Write(rec.Letters)
+	h.Write([]byte(rec.OpSeq))
+	binary.Write(h, binary.LittleEndian, int64(rec.Optimizer))
+	for _, l := range rec.Layers {
+		binary.Write(h, binary.LittleEndian, int64(l.Kind))
+		binary.Write(h, binary.LittleEndian, int64(l.FilterSize))
+		binary.Write(h, binary.LittleEndian, int64(l.NumFilters))
+		binary.Write(h, binary.LittleEndian, int64(l.Stride))
+		binary.Write(h, binary.LittleEndian, int64(l.Neurons))
+		binary.Write(h, binary.LittleEndian, int64(l.Act))
+		binary.Write(h, binary.LittleEndian, int64(l.ShortcutFrom))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}

@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GridCell is one (device count, tenancy mix) aggregate.
+type GridCell struct {
+	Devices int
+	Mix     string
+	// N is how many devices in the prefix carry this mix.
+	N int
+	// Mean extraction accuracies over those devices.
+	LetterAcc, LayerAcc, HPAcc float64
+	// Failed counts devices whose extraction errored (excluded from the
+	// means).
+	Failed int
+}
+
+// Grid is the fleet experiment's headline artifact: extraction accuracy as
+// the fleet grows, split by tenancy mix, over one set of device results.
+type Grid struct {
+	Counts []int
+	Mixes  []string
+	Cells  []GridCell
+	// Results are the full per-device outcomes of the largest run; every
+	// grid row is a prefix aggregate over them (the prefix-stability
+	// guarantee is what makes one run serve every count).
+	Results []DeviceResult
+}
+
+// AccuracyGrid runs the fleet once at the largest requested count and
+// aggregates each smaller count as a prefix — valid because device K's
+// result is byte-identical at any fleet size.
+func AccuracyGrid(cfg Config, counts []int) (*Grid, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("fleet: no device counts requested")
+	}
+	max := 0
+	for _, n := range counts {
+		if n <= 0 {
+			return nil, fmt.Errorf("fleet: device count %d must be >= 1", n)
+		}
+		if n > max {
+			max = n
+		}
+	}
+	cfg.Devices = max
+	res, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var mixes []string
+	seen := make(map[string]bool)
+	for _, d := range res.Devices {
+		if !seen[d.Spec.Mix] {
+			seen[d.Spec.Mix] = true
+			mixes = append(mixes, d.Spec.Mix)
+		}
+	}
+	g := &Grid{Counts: counts, Mixes: mixes, Results: res.Devices}
+	for _, n := range counts {
+		for _, mix := range mixes {
+			cell := GridCell{Devices: n, Mix: mix}
+			for _, d := range res.Devices[:n] {
+				if d.Spec.Mix != mix {
+					continue
+				}
+				if d.ExtractErr != "" {
+					cell.Failed++
+					continue
+				}
+				cell.N++
+				cell.LetterAcc += d.LetterAcc
+				cell.LayerAcc += d.LayerAcc
+				cell.HPAcc += d.HPAcc
+			}
+			if cell.N > 0 {
+				cell.LetterAcc /= float64(cell.N)
+				cell.LayerAcc /= float64(cell.N)
+				cell.HPAcc /= float64(cell.N)
+			}
+			if cell.N+cell.Failed == 0 {
+				continue // mix not present in this prefix
+			}
+			g.Cells = append(g.Cells, cell)
+		}
+	}
+	return g, nil
+}
+
+// Render prints the accuracy table plus the per-device rollup.
+func (g *Grid) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet extraction accuracy vs device count x tenancy mix\n")
+	fmt.Fprintf(&b, "  %-8s %-6s %3s  %8s %8s %8s\n", "devices", "mix", "n", "letter%", "layer%", "hp%")
+	for _, c := range g.Cells {
+		note := ""
+		if c.Failed > 0 {
+			note = fmt.Sprintf("  (%d failed)", c.Failed)
+		}
+		fmt.Fprintf(&b, "  %-8d %-6s %3d  %8.1f %8.1f %8.1f%s\n",
+			c.Devices, c.Mix, c.N, c.LetterAcc*100, c.LayerAcc*100, c.HPAcc*100, note)
+	}
+	b.WriteString(RenderRollup(g.Results))
+	return b.String()
+}
+
+// RenderRollup prints the per-device Coverage/Health lines.
+func RenderRollup(devices []DeviceResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-device rollup (spy allocation, yield, coverage, health)\n")
+	for _, d := range devices {
+		alloc := "full"
+		switch {
+		case d.Spec.Slowdown == 0:
+			alloc = "probe-only"
+		case d.Spec.Slowdown > 0:
+			alloc = fmt.Sprintf("%d ch", d.Spec.Slowdown)
+		}
+		fmt.Fprintf(&b, "  %-24s spy=%-10s %6.1f samples/iter  segs %d/%d  iters %d/%d",
+			d.Spec.Name, alloc, d.SamplesPerIter,
+			d.Coverage.SegmentsValid, d.Coverage.SegmentsDetected,
+			d.Health.IterationsProcessed, d.Health.IterationsTotal)
+		if d.Health.SpyChannelsRejected > 0 {
+			fmt.Fprintf(&b, "  rejected=%d", d.Health.SpyChannelsRejected)
+		}
+		if d.ExtractErr != "" {
+			fmt.Fprintf(&b, "  EXTRACT FAILED: %s", d.ExtractErr)
+		} else {
+			fmt.Fprintf(&b, "  acc %.0f/%.0f/%.0f", d.LetterAcc*100, d.LayerAcc*100, d.HPAcc*100)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The hardened scheduler's cap must reject a too-large batch wholesale: a
+// mid-batch failure would leave the caller (the spy) half-armed, which is
+// exactly the state the batched check exists to forbid.
+func TestAddChannelBatchAllOrNothing(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxChannelsPerCtx = 3
+	cfg.ProtectedCtx = 1
+	eng, err := NewEngine(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := fullKernel("k", cfg.SliceQuantum, cfg)
+	src := func() Source { return &RepeatSource{Kernel: k} }
+
+	if free := eng.ChannelSlotsFree(2); free != 3 {
+		t.Fatalf("fresh unprotected context has %d free slots, want 3", free)
+	}
+	if free := eng.ChannelSlotsFree(1); free != -1 {
+		t.Fatalf("protected context reports %d free slots, want -1 (unlimited)", free)
+	}
+
+	// A batch one past the cap must attach nothing at all.
+	if eng.AddChannelBatch(2, []Source{src(), src(), src(), src()}) {
+		t.Fatal("batch of 4 accepted under a cap of 3")
+	}
+	if free := eng.ChannelSlotsFree(2); free != 3 {
+		t.Fatalf("rejected batch consumed slots: %d free, want 3", free)
+	}
+	if got := len(eng.live); got != 0 {
+		t.Fatalf("rejected batch attached %d channels", got)
+	}
+
+	// A batch that exactly fits attaches whole.
+	if !eng.AddChannelBatch(2, []Source{src(), src(), src()}) {
+		t.Fatal("batch of 3 rejected under a cap of 3")
+	}
+	if free := eng.ChannelSlotsFree(2); free != 0 {
+		t.Fatalf("full context reports %d free slots, want 0", free)
+	}
+	if eng.AddChannel(2, src()) {
+		t.Fatal("single add accepted on a full context")
+	}
+
+	// The protected context ignores the cap entirely.
+	if !eng.AddChannelBatch(1, []Source{src(), src(), src(), src(), src()}) {
+		t.Fatal("protected context's batch rejected")
+	}
+}
+
+// Without a cap configured, batches of any size attach and slot queries
+// report unlimited.
+func TestAddChannelBatchUncapped(t *testing.T) {
+	cfg := testConfig()
+	eng, err := NewEngine(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := fullKernel("k", cfg.SliceQuantum, cfg)
+	srcs := make([]Source, 16)
+	for i := range srcs {
+		srcs[i] = &RepeatSource{Kernel: k}
+	}
+	if free := eng.ChannelSlotsFree(5); free != -1 {
+		t.Fatalf("uncapped engine reports %d free slots, want -1", free)
+	}
+	if !eng.AddChannelBatch(5, srcs) {
+		t.Fatal("uncapped batch rejected")
+	}
+	if got := len(eng.live); got != 16 {
+		t.Fatalf("attached %d channels, want 16", got)
+	}
+}
+
+// Detached channels release their driver slots, so a reset context can re-arm
+// a full batch under the same cap.
+func TestAddChannelBatchAfterDetach(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxChannelsPerCtx = 2
+	cfg.ProtectedCtx = 1
+	eng, err := NewEngine(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := fullKernel("k", cfg.SliceQuantum, cfg)
+	src := func() Source { return &RepeatSource{Kernel: k} }
+	if !eng.AddChannelBatch(2, []Source{src(), src()}) {
+		t.Fatal("initial batch rejected")
+	}
+	eng.DetachContext(2)
+	if free := eng.ChannelSlotsFree(2); free != 2 {
+		t.Fatalf("detached context has %d free slots, want 2", free)
+	}
+	if !eng.AddChannelBatch(2, []Source{src(), src()}) {
+		t.Fatal("re-arm batch rejected after detach")
+	}
+}

@@ -76,8 +76,11 @@ type Engine struct {
 	lastCtx ContextID
 
 	// Runlist-slot accounting: per scheduling pass, each context may place
-	// at most RunlistSlotsPerCtx channels.
-	passServed map[ContextID]int
+	// at most RunlistSlotsPerCtx channels. passServed is dense, indexed by
+	// context id (ids are small non-negative integers everywhere in the
+	// simulator), because the pick path reads it once per ring slot per pass —
+	// at fleet scale the map hashing dominated the walk.
+	passServed []int
 	passCount  int
 
 	// l2Log is the ordered lazy-decay log of the L2 residency model: every
@@ -175,11 +178,10 @@ func NewEngine(cfg DeviceConfig, rng *rand.Rand) (*Engine, error) {
 		return nil, fmt.Errorf("gpu: engine requires a rand source")
 	}
 	return &Engine{
-		cfg:        cfg,
-		rng:        rng,
-		busy:       make(map[ContextID]Nanos),
-		passServed: make(map[ContextID]int),
-		lastCtx:    -1,
+		cfg:     cfg,
+		rng:     rng,
+		busy:    make(map[ContextID]Nanos),
+		lastCtx: -1,
 	}, nil
 }
 
@@ -192,16 +194,8 @@ func NewEngine(cfg DeviceConfig, rng *rand.Rand) (*Engine, error) {
 // slots, so a context that lost its channels to a reset can re-arm under the
 // same cap.
 func (e *Engine) AddChannel(ctx ContextID, src Source) bool {
-	if e.cfg.MaxChannelsPerCtx > 0 && ctx != e.cfg.ProtectedCtx {
-		count := 0
-		for _, ch := range e.live {
-			if ch.ctx == ctx {
-				count++
-			}
-		}
-		if count >= e.cfg.MaxChannelsPerCtx {
-			return false
-		}
+	if e.ChannelSlotsFree(ctx) == 0 {
+		return false
 	}
 	ch := &channel{
 		ctx:      ctx,
@@ -211,6 +205,40 @@ func (e *Engine) AddChannel(ctx ContextID, src Source) bool {
 	}
 	e.channels = append(e.channels, ch)
 	e.live = append(e.live, ch)
+	return true
+}
+
+// ChannelSlotsFree reports how many more channels ctx may attach under the
+// hardened scheduler's cap. -1 means unlimited: no cap is configured, or ctx
+// is the protected context, which the cap never applies to. Only live
+// channels hold driver slots — retired and detached channels free theirs.
+func (e *Engine) ChannelSlotsFree(ctx ContextID) int {
+	if e.cfg.MaxChannelsPerCtx <= 0 || ctx == e.cfg.ProtectedCtx {
+		return -1
+	}
+	count := 0
+	for _, ch := range e.live {
+		if ch.ctx == ctx {
+			count++
+		}
+	}
+	if free := e.cfg.MaxChannelsPerCtx - count; free > 0 {
+		return free
+	}
+	return 0
+}
+
+// AddChannelBatch attaches every source to ctx, or none of them: the batch is
+// validated against the channel cap up front, so a caller arming several
+// channels at once (the spy's eight slow-down kernels) is never left
+// half-armed by a mid-batch rejection. Reports whether the batch attached.
+func (e *Engine) AddChannelBatch(ctx ContextID, srcs []Source) bool {
+	if free := e.ChannelSlotsFree(ctx); free >= 0 && free < len(srcs) {
+		return false
+	}
+	for _, src := range srcs {
+		e.AddChannel(ctx, src)
+	}
 	return true
 }
 
@@ -370,7 +398,7 @@ func (e *Engine) pickRunnable(until Nanos) *channel {
 			if e.cursor == len(e.live) {
 				e.cursor = 0
 			}
-			if e.cfg.RunlistSlotsPerCtx > 0 && e.passServed[ch.ctx] >= e.cfg.RunlistSlotsPerCtx {
+			if e.cfg.RunlistSlotsPerCtx > 0 && e.servedSlots(ch.ctx) >= e.cfg.RunlistSlotsPerCtx {
 				// This context exhausted its runlist slots for the pass;
 				// its surplus channels wait.
 				capSkipped = true
@@ -389,9 +417,7 @@ func (e *Engine) pickRunnable(until Nanos) *channel {
 				// Only slot-capped channels remain runnable: the pass is
 				// effectively over, start a new one.
 				e.passCount = 0
-				for id := range e.passServed {
-					e.passServed[id] = 0
-				}
+				clear(e.passServed)
 				continue
 			}
 			return nil
@@ -412,14 +438,24 @@ func (e *Engine) notePassSlot(ctx ContextID) {
 	if e.cfg.RunlistSlotsPerCtx <= 0 {
 		return
 	}
+	for int(ctx) >= len(e.passServed) {
+		e.passServed = append(e.passServed, 0)
+	}
 	e.passServed[ctx]++
 	e.passCount++
 	if e.passCount >= len(e.live) {
 		e.passCount = 0
-		for id := range e.passServed {
-			e.passServed[id] = 0
-		}
+		clear(e.passServed)
 	}
+}
+
+// servedSlots reads ctx's runlist-slot count for the current pass; contexts
+// past the dense array's high-water mark have not been served yet.
+func (e *Engine) servedSlots(ctx ContextID) int {
+	if int(ctx) >= len(e.passServed) {
+		return 0
+	}
+	return e.passServed[ctx]
 }
 
 // unlinkLive removes the ring entry at index i, keeping the cursor pointing

@@ -149,6 +149,11 @@ type Config struct {
 	Probe Kind
 	// Slowdown launches the eight slow-down kernels alongside the probe.
 	Slowdown bool
+	// SlowdownChannels caps how many of the eight slow-down kernels this spy
+	// launches (0 = all). The fleet runner uses it to split a shared spy
+	// channel budget across devices; a partially funded spy still probes, it
+	// just stretches the victim less.
+	SlowdownChannels int
 	// TimeScale scales kernel durations (1 = paper platform).
 	TimeScale float64
 	// SamplePeriod is the fixed CUPTI polling period of the spy's host
@@ -227,7 +232,7 @@ func NewProgram(cfg Config) (*Program, error) {
 // ArmFailures.
 func (p *Program) AttachTimeSliced(eng *gpu.Engine) error {
 	p.probeSource = &gpu.RepeatSource{Kernel: p.probe}
-	armed, err := p.armChannel(eng, p.probeSource, true)
+	armed, err := p.armProbe(eng, p.probeSource)
 	if err != nil {
 		return err
 	}
@@ -235,33 +240,67 @@ func (p *Program) AttachTimeSliced(eng *gpu.Engine) error {
 		return fmt.Errorf("spy: engine rejected probe channel for ctx %d (channel cap reached)", p.cfg.Ctx)
 	}
 	if p.cfg.Slowdown {
-		for _, k := range SlowdownKernels(p.cfg.TimeScale) {
-			armed, err := p.armChannel(eng, &gpu.RepeatSource{Kernel: k}, false)
-			if err != nil {
-				return err
-			}
-			if !armed {
+		// Fault-inject the arming of every slow-down channel first, then
+		// attach the survivors as one batch: the scheduler's per-context cap
+		// is checked against the whole batch up front, so the spy is either
+		// fully armed (minus fault-abandoned channels) or fully disarmed —
+		// never left half-armed by a mid-batch rejection.
+		var srcs []gpu.Source
+		for _, k := range p.slowdownSet() {
+			src, ok := p.prepareSlowdown(&gpu.RepeatSource{Kernel: k})
+			if !ok {
 				p.rejected++
+				continue
 			}
+			srcs = append(srcs, src)
+		}
+		if !eng.AddChannelBatch(p.cfg.Ctx, srcs) {
+			p.rejected += len(srcs)
 		}
 	}
 	return nil
 }
 
-// armChannel arms one channel, retrying chaos-injected failures with capped
-// backoff. It reports whether the channel ended up registered; mandatory
-// channels return an error instead of false when arming itself (not the
-// scheduler's channel cap) is what failed.
-func (p *Program) armChannel(eng *gpu.Engine, src gpu.Source, mandatory bool) (bool, error) {
+// slowdownSet returns the slow-down kernels this deployment launches: all
+// eight by default, or a budget-capped prefix when SlowdownChannels is set.
+func (p *Program) slowdownSet() []gpu.KernelProfile {
+	ks := SlowdownKernels(p.cfg.TimeScale)
+	if n := p.cfg.SlowdownChannels; n > 0 && n < len(ks) {
+		ks = ks[:n]
+	}
+	return ks
+}
+
+// prepareSlowdown runs the chaos arming path for one optional channel: the
+// retry/failure accounting of the per-channel loop it replaced, returning the
+// (possibly backoff-delayed) source and whether arming succeeded.
+func (p *Program) prepareSlowdown(src gpu.Source) (gpu.Source, bool) {
+	if p.cfg.Faults == nil {
+		return src, true
+	}
+	retries, ok := p.cfg.Faults.ArmChannel(false)
+	p.armRetries += retries
+	if !ok {
+		p.armFailures++
+		return nil, false
+	}
+	if delay := chaos.BackoffDelay(retries, p.backoffBase()); delay > 0 {
+		src = &delayedSource{inner: src, delay: delay}
+	}
+	return src, true
+}
+
+// armProbe arms the mandatory probe channel, retrying chaos-injected failures
+// with capped backoff. It reports whether the engine registered the channel;
+// exhausting the arming retry budget (not the scheduler's channel cap) is an
+// error, because a spy without its probe cannot sample at all.
+func (p *Program) armProbe(eng *gpu.Engine, src gpu.Source) (bool, error) {
 	if p.cfg.Faults != nil {
-		retries, ok := p.cfg.Faults.ArmChannel(mandatory)
+		retries, ok := p.cfg.Faults.ArmChannel(true)
 		p.armRetries += retries
 		if !ok {
 			p.armFailures++
-			if mandatory {
-				return false, fmt.Errorf("spy: probe channel arming failed after %d retries (injected launch faults)", retries)
-			}
-			return false, nil
+			return false, fmt.Errorf("spy: probe channel arming failed after %d retries (injected launch faults)", retries)
 		}
 		if delay := chaos.BackoffDelay(retries, p.backoffBase()); delay > 0 {
 			src = &delayedSource{inner: src, delay: delay}
@@ -326,29 +365,53 @@ func (p *Program) WatchdogDelay() gpu.Nanos {
 // fault budget was exhausted, or a hardened scheduler refused the channel).
 func (p *Program) Recover(eng *gpu.Engine, at gpu.Nanos) (reanchor gpu.Nanos, recovered bool) {
 	detect := at + p.WatchdogDelay()
-	probeAt, ok := p.rearmChannel(eng, p.probeSource, true, detect)
+	probeAt, ok := p.rearmProbe(eng, p.probeSource, detect)
 	if !ok {
 		return 0, false
 	}
 	if p.cfg.Slowdown {
-		for _, k := range SlowdownKernels(p.cfg.TimeScale) {
-			if _, ok := p.rearmChannel(eng, &gpu.RepeatSource{Kernel: k}, false, detect); !ok {
-				p.rejected++
+		// Same batched cap discipline as the initial attach: every channel
+		// runs the fault-arming path first, then the survivors are checked
+		// against the remaining channel slots before any one is registered.
+		type pending struct {
+			src gpu.Source
+			at  gpu.Nanos
+		}
+		var batch []pending
+		for _, k := range p.slowdownSet() {
+			start := detect
+			if p.cfg.Faults != nil {
+				retries, ok := p.cfg.Faults.ArmChannel(false)
+				p.armRetries += retries
+				if !ok {
+					p.armFailures++
+					p.rejected++
+					continue
+				}
+				start += chaos.BackoffDelay(retries, p.backoffBase())
+			}
+			batch = append(batch, pending{src: &gpu.RepeatSource{Kernel: k}, at: start})
+		}
+		if free := eng.ChannelSlotsFree(p.cfg.Ctx); free >= 0 && free < len(batch) {
+			p.rejected += len(batch)
+		} else {
+			for _, b := range batch {
+				eng.AddChannelAt(p.cfg.Ctx, b.src, b.at)
 			}
 		}
 	}
 	return probeAt, true
 }
 
-// rearmChannel arms one channel mid-run, flooring its first launch at
+// rearmProbe arms the probe channel mid-run, flooring its first launch at
 // `after` plus the capped-backoff delay of any chaos-injected arming
-// failures. Unlike the initial armChannel, a mandatory channel that exhausts
-// its retries degrades (reports false) instead of erroring: mid-run the spy
-// can only go blind, not abort the co-run it does not control.
-func (p *Program) rearmChannel(eng *gpu.Engine, src gpu.Source, mandatory bool, after gpu.Nanos) (gpu.Nanos, bool) {
+// failures. Unlike the initial armProbe, a probe that exhausts its retries
+// degrades (reports false) instead of erroring: mid-run the spy can only go
+// blind, not abort the co-run it does not control.
+func (p *Program) rearmProbe(eng *gpu.Engine, src gpu.Source, after gpu.Nanos) (gpu.Nanos, bool) {
 	start := after
 	if p.cfg.Faults != nil {
-		retries, ok := p.cfg.Faults.ArmChannel(mandatory)
+		retries, ok := p.cfg.Faults.ArmChannel(true)
 		p.armRetries += retries
 		if !ok {
 			p.armFailures++
@@ -380,7 +443,7 @@ func (p *Program) AttachMPS(eng *gpu.MPSEngine) {
 	p.probeSource = &gpu.RepeatSource{Kernel: p.probe}
 	eng.AddSecondary(p.cfg.Ctx, p.probeSource)
 	if p.cfg.Slowdown {
-		for _, k := range SlowdownKernels(p.cfg.TimeScale) {
+		for _, k := range p.slowdownSet() {
 			eng.AddSecondary(p.cfg.Ctx, &gpu.RepeatSource{Kernel: k})
 		}
 	}

@@ -52,6 +52,7 @@ type traceHeader struct {
 	VictimWall          gpu.Nanos
 	SpyProbeLaunches    int
 	SpyChannelsRejected int
+	SchedSlices         int
 	Reanchors           []gpu.Nanos
 	Health              *Health
 	// SampleCount and EventCount let the reader verify the stream was not
@@ -130,6 +131,7 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 		VictimWall:          t.VictimWall,
 		SpyProbeLaunches:    t.SpyProbeLaunches,
 		SpyChannelsRejected: t.SpyChannelsRejected,
+		SchedSlices:         t.SchedSlices,
 		Reanchors:           t.Reanchors,
 		Health:              t.Health,
 		SampleCount:         len(t.Samples),
@@ -241,6 +243,7 @@ func readOne(br *bufio.Reader) (*Trace, error) {
 		VictimWall:          hdr.VictimWall,
 		SpyProbeLaunches:    hdr.SpyProbeLaunches,
 		SpyChannelsRejected: hdr.SpyChannelsRejected,
+		SchedSlices:         hdr.SchedSlices,
 		Reanchors:           hdr.Reanchors,
 		Health:              hdr.Health,
 	}

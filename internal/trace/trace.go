@@ -68,6 +68,11 @@ type Trace struct {
 	// SpyChannelsRejected counts slow-down channels a hardened scheduler
 	// refused to register (the disarmed slow-down attack of §VI).
 	SpyChannelsRejected int
+	// SchedSlices counts every scheduler grant the engine issued during the
+	// co-run, across all contexts. It is the simulator-throughput denominator
+	// for fleet benchmarks (aggregate slices/sec) and is deliberately outside
+	// the golden trace hash, which enumerates the measurement-path fields.
+	SchedSlices int
 	// Reanchors are the re-anchor markers the spy's recovery layer emitted:
 	// the first-relaunch time after each survived driver reset. Samples
 	// before and after a marker belong to independent trace segments — the
@@ -136,7 +141,11 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 	tl := &tfsim.Timeline{}
 	totalOps := sess.OpsPerIteration() * cfg.Session.Iterations
 	victimDone := 0
-	eng.OnSlice = prog.ObserveSlice
+	schedSlices := 0
+	eng.OnSlice = func(r gpu.SliceRecord) {
+		schedSlices++
+		prog.ObserveSlice(r)
+	}
 	eng.OnKernelEnd = func(span gpu.KernelSpan) {
 		prog.ObserveKernelEnd(span)
 		// Only the victim's ops form the ground-truth timeline; background
@@ -348,6 +357,7 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 		VictimWall:          wall,
 		SpyProbeLaunches:    prog.ProbeLaunches(),
 		SpyChannelsRejected: prog.RejectedChannels(),
+		SchedSlices:         schedSlices,
 		Reanchors:           reanchors,
 		Health:              health,
 	}
