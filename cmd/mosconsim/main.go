@@ -267,6 +267,7 @@ func attackOne(models *attack.Models, tr *trace.Trace, verbose bool) error {
 	}
 	fmt.Println()
 	fmt.Printf("op sequence: %s\n", rec.OpSeq)
+	fmt.Printf("fingerprint: %s\n", rec.Fingerprint())
 	fmt.Printf("optimizer:   %v (true %v)\n", rec.Optimizer, tr.Model.Optimizer)
 	fmt.Println("layers:")
 	for i, l := range rec.Layers {

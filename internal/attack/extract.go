@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -90,9 +91,26 @@ func (m *Models) ExtractTrace(tr *trace.Trace) (*Recovery, error) {
 	return m.ExtractSegmented(tr.Samples, tr.Reanchors)
 }
 
+// ExtractTraceCtx is ExtractTrace with cooperative cancellation, the entry a
+// request-scoped caller (the extraction service) uses: a dead client's
+// context abandons the pipeline at the next stage boundary instead of burning
+// worker time on an answer nobody will read.
+func (m *Models) ExtractTraceCtx(ctx context.Context, tr *trace.Trace) (*Recovery, error) {
+	return m.ExtractSegmentedCtx(ctx, tr.Samples, tr.Reanchors)
+}
+
 // ExtractSegmented is Extract with explicit re-anchor markers (simulated
 // times at which the spy re-established its context after losing it).
 func (m *Models) ExtractSegmented(samples []cupti.Sample, reanchors []gpu.Nanos) (*Recovery, error) {
+	return m.ExtractSegmentedCtx(context.Background(), samples, reanchors)
+}
+
+// ExtractSegmentedCtx is ExtractSegmented with cooperative cancellation:
+// ctx is checked between pipeline stages and between per-iteration model
+// passes (the units of meaningful work), so cancellation latency is one model
+// pass, not one extraction. An uncancelled ctx is byte-identical to
+// ExtractSegmented; a cancelled one returns ctx.Err().
+func (m *Models) ExtractSegmentedCtx(ctx context.Context, samples []cupti.Sample, reanchors []gpu.Nanos) (*Recovery, error) {
 	if len(samples) == 0 {
 		return nil, errors.New("attack: no samples to extract from")
 	}
@@ -106,9 +124,12 @@ func (m *Models) ExtractSegmented(samples []cupti.Sample, reanchors []gpu.Nanos)
 	if m.Long == nil || m.Op == nil {
 		return nil, errors.New("attack: Mlong/Mop not trained")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	features := FeatureMatrix(m.Scaler, samples)
 
-	split, err := m.SplitSegmented(features, trace.SegmentBounds(samples, reanchors))
+	split, err := m.splitSegmentedCtx(ctx, features, trace.SegmentBounds(samples, reanchors))
 	if err != nil {
 		return nil, err
 	}
@@ -143,6 +164,9 @@ func (m *Models) ExtractSegmented(samples []cupti.Sample, reanchors []gpu.Nanos)
 
 	// Per-iteration Mlong/Mop predictions.
 	for _, r := range rec.Used {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seq := features[r.Start:r.End]
 		long, err := m.Long.Predict(seq)
 		if err != nil {
@@ -157,6 +181,9 @@ func (m *Models) ExtractSegmented(samples []cupti.Sample, reanchors []gpu.Nanos)
 	}
 
 	// Voting across iterations.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	baseLen := rec.Base.End - rec.Base.Start
 	group := make([]int, len(rec.Used))
 	for i := range group {
@@ -193,6 +220,9 @@ func (m *Models) ExtractSegmented(samples []cupti.Sample, reanchors []gpu.Nanos)
 	// Hyper-parameter heads over the base iteration.
 	baseFeatures := features[rec.Base.Start:rec.Base.End]
 	for kind := HPKind(0); kind < NumHPKinds; kind++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rec.HPClasses[kind] = make([]int, baseLen)
 		if m.HP[kind] == nil {
 			for t := range rec.HPClasses[kind] {

@@ -1,0 +1,75 @@
+package attack
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+)
+
+// Fingerprint returns a canonical sha256 over everything the extraction
+// recovered: per-sample letters, voted classes, the collapsed op sequence,
+// the reconstructed layers with their hyper-parameters, the optimizer, the
+// per-kind HP classes, and the coverage accounting. Two recoveries with equal
+// fingerprints made byte-identical decisions end to end, which is how the
+// extraction service proves its answers match the offline pipeline for the
+// same trace bytes.
+func (r *Recovery) Fingerprint() string {
+	h := sha256.New()
+	hashInt := func(v int) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(int64(v)))
+		h.Write(b[:])
+	}
+	hashInts := func(vs []int) {
+		hashInt(len(vs))
+		for _, v := range vs {
+			hashInt(v)
+		}
+	}
+	hashString := func(s string) {
+		hashInt(len(s))
+		h.Write([]byte(s))
+	}
+
+	hashString(string(r.Letters))
+	hashInts(r.VotedLong)
+	hashInts(r.VotedOp)
+	hashString(r.OpSeq)
+	hashInt(int(r.Optimizer))
+	hashInt(len(r.Layers))
+	for _, l := range r.Layers {
+		hashInt(int(l.Kind))
+		hashInt(int(l.Act))
+		hashInt(l.NumFilters)
+		hashInt(l.FilterSize)
+		hashInt(l.Stride)
+		hashInt(l.Neurons)
+		hashInt(l.ShortcutFrom)
+		hashInt(l.LastSample)
+	}
+	for kind := HPKind(0); kind < NumHPKinds; kind++ {
+		hashInts(r.HPClasses[kind])
+	}
+	hashCoverage(h, r.Coverage)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hashCoverage(h hash.Hash, c Coverage) {
+	var b [8]byte
+	put := func(v int) {
+		binary.LittleEndian.PutUint64(b[:], uint64(int64(v)))
+		h.Write(b[:])
+	}
+	put(c.Samples)
+	put(c.StreamSegments)
+	put(c.SegmentsDetected)
+	put(c.SegmentsValid)
+	put(c.QuarantinedShort)
+	put(c.QuarantinedLong)
+	if c.UsedFallback {
+		put(1)
+	} else {
+		put(0)
+	}
+}

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -45,6 +46,15 @@ type Models struct {
 // iteration sequences, and then trains the voting models on Mlong/Mop's own
 // predictions across iterations (§IV-B).
 func TrainModels(traces []*trace.Trace, cfg Config) (*Models, error) {
+	return TrainModelsCtx(context.Background(), traces, cfg)
+}
+
+// TrainModelsCtx is TrainModels with cooperative cancellation, for callers
+// that train on demand inside a service (a model-zoo cache miss during
+// shutdown, say). Cancellation granularity is one model head: heads already
+// training run to completion, no new head starts once ctx is done, and the
+// call returns ctx.Err(). An uncancelled ctx trains byte-identical models.
+func TrainModelsCtx(ctx context.Context, traces []*trace.Trace, cfg Config) (*Models, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,6 +71,9 @@ func TrainModels(traces []*trace.Trace, cfg Config) (*Models, error) {
 	}
 	m := &Models{Cfg: cfg, Scaler: scaler, Report: make(map[string]float64)}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := m.trainGap(lts); err != nil {
 		return nil, err
 	}
@@ -79,10 +92,10 @@ func TrainModels(traces []*trace.Trace, cfg Config) (*Models, error) {
 			return m.trainHPHead(lts, kind)
 		})
 	}
-	if err := m.runTrainers(heads); err != nil {
+	if err := m.runTrainers(ctx, heads); err != nil {
 		return nil, err
 	}
-	if err := m.trainVoting(lts); err != nil {
+	if err := m.trainVoting(ctx, lts); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -91,16 +104,16 @@ func TrainModels(traces []*trace.Trace, cfg Config) (*Models, error) {
 // runTrainers executes the independent trainers on the worker pool — the
 // shared pipeline pool when the configuration carries one, a private Workers
 // pool otherwise — and merges their report entries in fixed task order.
-func (m *Models) runTrainers(trainers []func() (map[string]float64, error)) error {
+func (m *Models) runTrainers(ctx context.Context, trainers []func() (map[string]float64, error)) error {
 	run := func(i int) (map[string]float64, error) {
 		return trainers[i]()
 	}
 	var reports []map[string]float64
 	var err error
 	if m.Cfg.pool != nil {
-		reports, err = par.MapOn(m.Cfg.pool, len(trainers), run)
+		reports, err = par.MapOnCtx(ctx, m.Cfg.pool, len(trainers), run)
 	} else {
-		reports, err = par.Map(m.Cfg.Workers, len(trainers), run)
+		reports, err = par.MapCtx(ctx, m.Cfg.Workers, len(trainers), run)
 	}
 	if err != nil {
 		return err
@@ -354,7 +367,10 @@ func hpVocabulary(lts []*labelledTrace, kind HPKind) []int {
 // voting LSTM that cannot beat the majority baseline on the adversary's own
 // data is replaced by it at extraction time — the same model-selection step
 // a real attacker performs before deploying.
-func (m *Models) trainVoting(lts []*labelledTrace) error {
+func (m *Models) trainVoting(ctx context.Context, lts []*labelledTrace) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n := m.Cfg.VoteIterations
 	noise := rand.New(rand.NewSource(m.Cfg.Seed + 77))
 
@@ -437,7 +453,7 @@ func (m *Models) trainVoting(lts []*labelledTrace) error {
 	// The two voting models are independent once the datasets exist (the
 	// shared noise RNG is fully consumed above), so they train concurrently
 	// like the inference heads.
-	return m.runTrainers([]func() (map[string]float64, error){
+	return m.runTrainers(ctx, []func() (map[string]float64, error){
 		func() (map[string]float64, error) { return m.trainVlong(longSeqs, valLong, n) },
 		func() (map[string]float64, error) { return m.trainVop(opSeqs, valOp, n) },
 	})

@@ -2,13 +2,28 @@ package attack
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
 	"leakydnn/internal/gbdt"
 	"leakydnn/internal/lstm"
 )
+
+// modelsMagic guards model-set files the way traceMagic guards trace streams;
+// the trailing byte is the format version. Version 1 wraps the gob payload in
+// a length + sha256 envelope so a bit-flipped cache entry is detected and
+// reported instead of deserializing into garbage accuracies — gob happily
+// decodes many single-bit corruptions of numeric fields.
+const modelsMagic = "MOSMDLS\x01"
+
+// ErrModelSetCorrupt is wrapped into LoadModels' error when the payload
+// checksum does not match: the bytes are a model set, but a damaged one. A
+// cache that sees this should rebuild the entry, not fail the request.
+var ErrModelSetCorrupt = errors.New("attack: model set payload corrupt (checksum mismatch)")
 
 // modelsSnapshot is the gob-serializable form of a trained model set: the
 // neural networks and the GBDT are nested as their own encodings.
@@ -74,16 +89,65 @@ func (m *Models) Save(w io.Writer) error {
 		}
 		snap.HP[kind] = blob
 	}
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
+		return fmt.Errorf("attack: save: %w", err)
+	}
+	if _, err := io.WriteString(w, modelsMagic); err != nil {
+		return fmt.Errorf("attack: save: %w", err)
+	}
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(payload.Len()))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("attack: save: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("attack: save: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
 		return fmt.Errorf("attack: save: %w", err)
 	}
 	return nil
 }
 
-// LoadModels reads a model set previously written by Save.
+// maxModelSetBytes bounds the declared payload length before allocating; the
+// biggest real model sets (paper scale) are tens of MB.
+const maxModelSetBytes = 1 << 30
+
+// LoadModels reads a model set previously written by Save, verifying the
+// payload checksum first: corruption anywhere in the envelope or payload is
+// an error (wrapping ErrModelSetCorrupt for checksum mismatches), never a
+// silently wrong model set.
 func LoadModels(r io.Reader) (*Models, error) {
+	magic := make([]byte, len(modelsMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("attack: load: read magic: %w", err)
+	}
+	if string(magic) != modelsMagic {
+		return nil, fmt.Errorf("attack: load: bad magic %q (not a model set, or unsupported version)", magic)
+	}
+	var lenBuf [8]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("attack: load: read payload length: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(lenBuf[:])
+	if n > maxModelSetBytes {
+		return nil, fmt.Errorf("attack: load: payload length %d exceeds limit %d", n, maxModelSetBytes)
+	}
+	var want [sha256.Size]byte
+	if _, err := io.ReadFull(r, want[:]); err != nil {
+		return nil, fmt.Errorf("attack: load: read checksum: %w", err)
+	}
+	var payload bytes.Buffer
+	if copied, err := io.CopyN(&payload, r, int64(n)); err != nil {
+		return nil, fmt.Errorf("attack: load: payload truncated at %d of %d bytes: %w", copied, n, err)
+	}
+	if sha256.Sum256(payload.Bytes()) != want {
+		return nil, ErrModelSetCorrupt
+	}
 	var snap modelsSnapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(&payload).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("attack: load: %w", err)
 	}
 	m := &Models{

@@ -1,0 +1,104 @@
+package attack
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"leakydnn/internal/cupti"
+	"leakydnn/internal/gbdt"
+	"leakydnn/internal/lstm"
+)
+
+// saveBytes serializes a minimal (untrained) model set: the envelope and
+// checksum logic is identical for trained sets, which TestEndToEndExtraction
+// round-trips separately.
+func saveBytes(t *testing.T) []byte {
+	t.Helper()
+	m := &Models{Cfg: FastConfig(), Report: map[string]float64{"Mlong": 0.5}}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestModelSetRoundTrip(t *testing.T) {
+	raw := saveBytes(t)
+	m, err := LoadModels(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Report["Mlong"] != 0.5 {
+		t.Fatalf("report lost in round trip: %v", m.Report)
+	}
+	if m.Cfg.THGap != FastConfig().THGap {
+		t.Fatalf("config lost in round trip: %+v", m.Cfg)
+	}
+}
+
+// A bit-flipped cached model set must be detected by the payload checksum and
+// reported as corruption — gob alone happily decodes many single-bit flips of
+// numeric fields into a model set with silently wrong weights.
+func TestModelSetBitFlipDetected(t *testing.T) {
+	raw := saveBytes(t)
+	headerLen := len(modelsMagic) + 8 + 32
+	for _, pos := range []int{headerLen, headerLen + 7, len(raw) - 1} {
+		flipped := append([]byte{}, raw...)
+		flipped[pos] ^= 0x01
+		_, err := LoadModels(bytes.NewReader(flipped))
+		if !errors.Is(err, ErrModelSetCorrupt) {
+			t.Fatalf("bit flip at payload byte %d: err = %v, want ErrModelSetCorrupt", pos, err)
+		}
+	}
+	// A flip inside the stored checksum itself is also a mismatch.
+	flipped := append([]byte{}, raw...)
+	flipped[len(modelsMagic)+8] ^= 0x80
+	if _, err := LoadModels(bytes.NewReader(flipped)); !errors.Is(err, ErrModelSetCorrupt) {
+		t.Fatalf("checksum flip: err = %v, want ErrModelSetCorrupt", err)
+	}
+}
+
+func TestModelSetTruncationAndWrongMagic(t *testing.T) {
+	raw := saveBytes(t)
+	for _, cut := range []int{0, 4, len(modelsMagic) + 3, len(raw) / 2, len(raw) - 1} {
+		if _, err := LoadModels(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(raw))
+		}
+	}
+	wrong := append([]byte{}, raw...)
+	wrong[0] ^= 0xff
+	if _, err := LoadModels(bytes.NewReader(wrong)); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+}
+
+// TestTrainModelsCtxCancelled pins the service-side wiring: a context that is
+// already dead stops training before any model head starts.
+func TestTrainModelsCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	profiled := collectAll(t, profiledModels()[:1], 3, 60)
+	_, err := TrainModelsCtx(ctx, profiled, FastConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExtractCtxCancelled: a dead client's context aborts the pipeline at the
+// first stage boundary, before any model runs.
+func TestExtractCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := &Models{
+		Cfg:    FastConfig(),
+		Scaler: &gbdt.MinMaxScaler{Min: []float64{0}, Max: []float64{1}},
+		Long:   &lstm.Network{},
+		Op:     &lstm.Network{},
+	}
+	_, err := m.ExtractSegmentedCtx(ctx, []cupti.Sample{{}}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"errors"
 	"sort"
 )
@@ -43,11 +44,23 @@ func (m *Models) SplitIterations(features [][]float64) (*SplitResult, error) {
 // iteration length filter still runs globally, so a boundary-truncated runt
 // is quarantined against the whole trace's median, not its own segment's.
 func (m *Models) SplitSegmented(features [][]float64, bounds []int) (*SplitResult, error) {
+	return m.splitSegmentedCtx(context.Background(), features, bounds)
+}
+
+// splitSegmentedCtx is the cancellable core: the per-sample Mgap sweep is the
+// one stage whose cost scales with raw stream length rather than iteration
+// count, so it polls ctx every few thousand samples.
+func (m *Models) splitSegmentedCtx(ctx context.Context, features [][]float64, bounds []int) (*SplitResult, error) {
 	if m.Gap == nil {
 		return nil, errors.New("attack: Mgap not trained")
 	}
 	res := &SplitResult{IsNOP: make([]bool, len(features))}
 	for i, f := range features {
+		if i&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		label, err := m.Gap.Predict(f)
 		if err != nil {
 			return nil, err

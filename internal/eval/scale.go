@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -165,7 +166,14 @@ func (sc Scale) AttackConfig() attack.Config {
 // model order. Each co-run owns an independent engine seeded from
 // (Seed, stream, i), so the fan-out is deterministic for any worker count.
 func (sc Scale) CollectTraces(models []dnn.Model, stream SeedStream) ([]*trace.Trace, error) {
-	return par.Map(sc.Workers, len(models), func(i int) (*trace.Trace, error) {
+	return sc.CollectTracesCtx(context.Background(), models, stream)
+}
+
+// CollectTracesCtx is CollectTraces with cooperative cancellation: a cancelled
+// ctx stops scheduling further co-runs and returns ctx.Err() instead of a
+// partial trace set. An uncancelled ctx is byte-identical to CollectTraces.
+func (sc Scale) CollectTracesCtx(ctx context.Context, models []dnn.Model, stream SeedStream) ([]*trace.Trace, error) {
+	return par.MapCtx(ctx, sc.Workers, len(models), func(i int) (*trace.Trace, error) {
 		tr, err := trace.Collect(models[i], sc.RunConfig(sc.StreamSeed(stream, i), true))
 		if err != nil {
 			return nil, fmt.Errorf("eval: collect %s: %w", models[i].Name, err)
@@ -206,10 +214,19 @@ type Workbench struct {
 // head and every reduction is in fixed task order, so the result is
 // byte-identical to the serial workers=1 construction for any Workers value.
 func NewWorkbench(sc Scale) (*Workbench, error) {
+	return NewWorkbenchCtx(context.Background(), sc)
+}
+
+// NewWorkbenchCtx is NewWorkbench with cooperative cancellation threaded
+// through both collection fan-outs and model training. The extraction service
+// builds its warm model cache through this entry so a shutdown mid-warm-up
+// abandons the build at the next co-run or model-head boundary instead of
+// holding the drain deadline hostage to a full training run.
+func NewWorkbenchCtx(ctx context.Context, sc Scale) (*Workbench, error) {
 	start := time.Now()
 	pool := par.NewPool(sc.Workers)
 	collect := func(models []dnn.Model, stream SeedStream) ([]*trace.Trace, error) {
-		return par.MapOn(pool, len(models), func(i int) (*trace.Trace, error) {
+		return par.MapOnCtx(ctx, pool, len(models), func(i int) (*trace.Trace, error) {
 			tr, err := trace.Collect(models[i], sc.RunConfig(sc.StreamSeed(stream, i), true))
 			if err != nil {
 				return nil, fmt.Errorf("eval: collect %s: %w", models[i].Name, err)
@@ -235,7 +252,7 @@ func NewWorkbench(sc Scale) (*Workbench, error) {
 			return
 		}
 		trainStart := time.Now()
-		models, trainErr = attack.TrainModels(profiled, sc.AttackConfig().WithPool(pool))
+		models, trainErr = attack.TrainModelsCtx(ctx, profiled, sc.AttackConfig().WithPool(pool))
 		trainWall = time.Since(trainStart)
 	}()
 	tested, testedErr := collect(sc.Tested, StreamTested)

@@ -9,6 +9,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,8 +36,23 @@ func Workers(n int) int {
 // first) and no further indices are dispatched, though calls already in
 // flight run to completion.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, no new index
+// is dispatched, but calls already in flight run to completion (a task owns
+// resources mid-run; killing it non-cooperatively would corrupt them). The
+// error precedence keeps Map's contract first — the lowest-index task error
+// wins — and reports ctx.Err() only when cancellation actually prevented
+// indices from being dispatched. A run that completes every task before the
+// cancellation lands returns the full, byte-identical result set; an
+// uncancelled ctx makes MapCtx exactly Map.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -45,6 +61,9 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			r, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -56,6 +75,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 
 	errs := make([]error, n)
 	var next, failed atomic.Int64
+	var cancelled atomic.Bool
 	failed.Store(int64(n)) // sentinel: no failure yet
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -65,6 +85,13 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= n || int64(i) > failed.Load() {
+					return
+				}
+				// The claim-then-check order makes the cancelled flag precise:
+				// it is set iff a claimed index was abandoned, i.e. iff the
+				// result set is actually incomplete.
+				if ctx.Err() != nil {
+					cancelled.Store(true)
 					return
 				}
 				r, err := fn(i)
@@ -89,6 +116,9 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if cancelled.Load() {
+		return nil, ctx.Err()
 	}
 	return results, nil
 }
@@ -118,11 +148,24 @@ func (p *Pool) Slots() int { return cap(p.sem) }
 // MapOn never starves a concurrent fan-out on the same pool. A nil pool
 // falls back to Map with the default worker count.
 func MapOn[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapOnCtx(context.Background(), p, n, fn)
+}
+
+// MapOnCtx is MapOn with cooperative cancellation, the shape a request-scoped
+// fan-out needs: a task waiting for a pool slot abandons the wait the moment
+// ctx is done (a dead client must not keep a queue position), no new index is
+// dispatched afterwards, and tasks already holding a slot run to completion.
+// Error precedence matches MapCtx: the lowest-index task error wins, then
+// ctx.Err() when cancellation left the result set incomplete.
+func MapOnCtx[T any](ctx context.Context, p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	if p == nil {
-		return Map(0, n, fn)
+		return MapCtx(ctx, 0, n, fn)
 	}
 	if n <= 0 {
 		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := cap(p.sem)
 	if workers > n {
@@ -131,6 +174,7 @@ func MapOn[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
 	var next, failed atomic.Int64
+	var cancelled atomic.Bool
 	failed.Store(int64(n)) // sentinel: no failure yet
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -142,7 +186,16 @@ func MapOn[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n || int64(i) > failed.Load() {
 					return
 				}
-				p.sem <- struct{}{}
+				// Claim-then-check, as in MapCtx: cancelled is set iff a
+				// claimed index never ran. The same select also bounds the
+				// slot wait, so a cancelled fan-out drains out of the pool's
+				// queue instead of holding a position in it.
+				select {
+				case p.sem <- struct{}{}:
+				case <-ctx.Done():
+					cancelled.Store(true)
+					return
+				}
 				r, err := fn(i)
 				<-p.sem
 				if err != nil {
@@ -165,6 +218,9 @@ func MapOn[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if cancelled.Load() {
+		return nil, ctx.Err()
 	}
 	return results, nil
 }

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"leakydnn/internal/attack"
+	"leakydnn/internal/eval"
+)
+
+// ModelCache hands out trained model sets keyed by scale configuration, with
+// three robustness properties the daemon depends on:
+//
+//   - single-flight population: however many requests race on a cold key,
+//     exactly one collects traces and trains; the rest block on its result.
+//   - disk persistence: a populated set is written (atomically, via rename) to
+//     the cache directory, so a restarted daemon warms from disk instead of
+//     re-training.
+//   - corruption containment: a cached file whose checksum does not verify
+//     (attack.ErrModelSetCorrupt) — or that fails to load for any reason — is
+//     deleted and rebuilt, never served and never fatal.
+type ModelCache struct {
+	dir string
+
+	// train builds a model set from scratch. The default collects the scale's
+	// profiled traces and trains under ctx; tests substitute a stub.
+	train func(ctx context.Context, sc eval.Scale) (*attack.Models, error)
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+
+	// Counters for /healthz: how population went, not per-request traffic.
+	hits            atomic.Int64
+	misses          atomic.Int64
+	corruptRebuilds atomic.Int64
+	persistFailures atomic.Int64
+}
+
+type cacheEntry struct {
+	ready  chan struct{} // closed when models/err are set
+	models *attack.Models
+	err    error
+}
+
+// NewModelCache builds a cache persisting to dir; dir == "" keeps populated
+// sets in memory only.
+func NewModelCache(dir string) *ModelCache {
+	return &ModelCache{
+		dir:     dir,
+		entries: make(map[string]*cacheEntry),
+		train: func(ctx context.Context, sc eval.Scale) (*attack.Models, error) {
+			w, err := eval.NewWorkbenchCtx(ctx, sc)
+			if err != nil {
+				return nil, err
+			}
+			return w.Models, nil
+		},
+	}
+}
+
+// CacheKey names the model set a scale configuration trains: the scale's name
+// and seed pin the profiled zoo, the time constants, and every random draw, so
+// two equal keys train byte-identical sets.
+func CacheKey(sc eval.Scale) string {
+	return fmt.Sprintf("%s-seed%d", sc.Name, sc.Seed)
+}
+
+// Stats reports the cache's population counters.
+type CacheStats struct {
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	CorruptRebuilds int64 `json:"corrupt_rebuilds"`
+	PersistFailures int64 `json:"persist_failures"`
+}
+
+// Stats reads the population counters.
+func (c *ModelCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		CorruptRebuilds: c.corruptRebuilds.Load(),
+		PersistFailures: c.persistFailures.Load(),
+	}
+}
+
+// Get returns the trained model set for sc, populating it (from disk or by
+// training) exactly once per key however many callers race. The leader
+// populates under its own ctx; losers waiting on an in-flight population
+// abandon the wait when their ctx dies, without disturbing the population
+// itself. A failed population is not cached: the next Get retries.
+func (c *ModelCache) Get(ctx context.Context, sc eval.Scale) (*attack.Models, error) {
+	key := CacheKey(sc)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		select {
+		case <-e.ready:
+			return e.models, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	e.models, e.err = c.populate(ctx, sc, key)
+	if e.err != nil {
+		// Do not poison the key: a transient failure (cancelled warm-up, disk
+		// hiccup mid-train) must not make the scale permanently unservable.
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.models, e.err
+}
+
+func (c *ModelCache) path(key string) string {
+	return filepath.Join(c.dir, "models-"+key+".mosmdl")
+}
+
+func (c *ModelCache) populate(ctx context.Context, sc eval.Scale, key string) (*attack.Models, error) {
+	if c.dir != "" {
+		if m, ok := c.loadDisk(key); ok {
+			return m, nil
+		}
+	}
+	m, err := c.train(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
+	if c.dir != "" {
+		// Persistence is best-effort: a read-only or full cache directory
+		// degrades to training-per-process, it does not fail the request.
+		if err := c.persist(key, m); err != nil {
+			c.persistFailures.Add(1)
+		}
+	}
+	return m, nil
+}
+
+// loadDisk tries the cached file; any failure past "does not exist" counts as
+// a corrupt entry: the file is deleted so the rebuild below replaces it.
+func (c *ModelCache) loadDisk(key string) (*attack.Models, bool) {
+	f, err := os.Open(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	m, err := attack.LoadModels(f)
+	f.Close()
+	if err == nil {
+		return m, true
+	}
+	// Checksum mismatch, truncation, bad magic — all mean the entry cannot be
+	// trusted. errors.Is(err, attack.ErrModelSetCorrupt) is the designed path;
+	// the others get the same treatment because serving from them would be
+	// worse than re-training.
+	_ = errors.Is(err, attack.ErrModelSetCorrupt)
+	c.corruptRebuilds.Add(1)
+	os.Remove(c.path(key))
+	return nil, false
+}
+
+// persist writes atomically: a same-directory temp file renamed into place, so
+// a crash mid-write leaves either the old entry or none — never a torn file
+// that the next start would have to checksum-reject.
+func (c *ModelCache) persist(key string, m *attack.Models) error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "models-*.tmp")
+	if err != nil {
+		return err
+	}
+	if err := m.Save(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

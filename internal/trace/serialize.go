@@ -183,60 +183,146 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, bw.Flush()
 }
 
-// maxChunkBytes rejects absurd length prefixes before allocating.
+// maxChunkBytes rejects absurd length prefixes before reading: the default
+// guard for trusted files. Servers ingesting traces from the network should
+// tighten it with Reader.SetMaxChunkBytes — the writer never emits chunks
+// beyond a few hundred KB at the current chunk sizes.
 const maxChunkBytes = 64 << 20
 
-func readChunk(r *bufio.Reader) (chunk, error) {
-	n, err := binary.ReadUvarint(r)
-	if err != nil {
-		return chunk{}, err
-	}
-	if n > maxChunkBytes {
-		return chunk{}, fmt.Errorf("trace: chunk length %d exceeds limit %d", n, maxChunkBytes)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		if errors.Is(err, io.EOF) {
-			err = io.ErrUnexpectedEOF
-		}
-		return chunk{}, fmt.Errorf("trace: short chunk: %w", err)
-	}
-	var c chunk
-	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&c); err != nil {
-		return chunk{}, fmt.Errorf("trace: decode chunk: %w", err)
-	}
-	return c, nil
+// maxPrealloc caps the capacity hint taken from header counts. The counts
+// themselves still have to reconcile at the end chunk, but a hostile header
+// claiming 10^18 samples must cost an append-doubling schedule, not an
+// up-front allocation.
+const maxPrealloc = 1 << 16
+
+// Reader decodes traces from one stream incrementally, tracking the logical
+// byte offset of everything it consumes so every error names where in the
+// stream the damage sits. The zero value is not usable; build with NewReader.
+type Reader struct {
+	br       *bufio.Reader
+	off      int64
+	maxChunk uint64
 }
 
-// ReadTrace decodes one trace from r. Wrap r in a bufio.Reader yourself when
-// reading several traces from one stream, or use ReadTraces.
-func ReadTrace(r io.Reader) (*Trace, error) {
+// NewReader wraps r for incremental trace decoding with the default chunk
+// guard.
+func NewReader(r io.Reader) *Reader {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
 		br = bufio.NewReader(r)
 	}
-	return readOne(br)
+	return &Reader{br: br, maxChunk: maxChunkBytes}
 }
 
-func readOne(br *bufio.Reader) (*Trace, error) {
-	magic := make([]byte, len(traceMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+// SetMaxChunkBytes tightens (or loosens) the per-chunk length guard: a chunk
+// whose length prefix exceeds n fails immediately instead of being buffered.
+// Network-facing ingestion should set this well below the trusting file
+// default. n <= 0 restores the default.
+func (d *Reader) SetMaxChunkBytes(n int64) {
+	if n <= 0 {
+		d.maxChunk = maxChunkBytes
+		return
+	}
+	d.maxChunk = uint64(n)
+}
+
+// Offset returns the number of stream bytes consumed so far — after an
+// error, the position at or before which the stream went bad.
+func (d *Reader) Offset() int64 { return d.off }
+
+// readUvarint is binary.ReadUvarint with byte accounting.
+func (d *Reader) readUvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := d.br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		d.off++
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, errors.New("length prefix overflows uint64")
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, errors.New("length prefix overflows uint64")
+}
+
+// readChunk decodes the next length-prefixed gob chunk. The payload is read
+// incrementally (io.CopyN into a growing buffer), so a hostile length prefix
+// costs at most the bytes actually present in the stream, never an up-front
+// allocation of the claimed size.
+func (d *Reader) readChunk() (chunk, error) {
+	start := d.off
+	n, err := d.readUvarint()
+	if err != nil {
+		if errors.Is(err, io.EOF) && d.off > start {
+			err = io.ErrUnexpectedEOF
+		}
 		if errors.Is(err, io.EOF) {
+			return chunk{}, err
+		}
+		return chunk{}, fmt.Errorf("trace: chunk length prefix at byte offset %d: %w", start, err)
+	}
+	if n > d.maxChunk {
+		return chunk{}, fmt.Errorf("trace: chunk at byte offset %d: length %d exceeds limit %d", start, n, d.maxChunk)
+	}
+	var bb bytes.Buffer
+	copied, err := io.CopyN(&bb, d.br, int64(n))
+	d.off += copied
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return chunk{}, fmt.Errorf("trace: chunk at byte offset %d truncated: read %d of %d payload bytes: %w",
+			start, copied, n, err)
+	}
+	var c chunk
+	if err := gob.NewDecoder(&bb).Decode(&c); err != nil {
+		return chunk{}, fmt.Errorf("trace: decode chunk at byte offset %d: %w", start, err)
+	}
+	return c, nil
+}
+
+// Read decodes the next trace from the stream. It returns io.EOF exactly when
+// the stream ends cleanly at a trace boundary (including an empty stream);
+// any bytes past a boundary that do not form a complete trace — trailing
+// garbage, a partial final chunk — fail loudly with the byte offset.
+func (d *Reader) Read() (*Trace, error) {
+	start := d.off
+	magic := make([]byte, len(traceMagic))
+	n, err := io.ReadFull(d.br, magic)
+	d.off += int64(n)
+	if err != nil {
+		if errors.Is(err, io.EOF) && n == 0 {
 			return nil, io.EOF // clean end of a multi-trace stream
 		}
-		return nil, fmt.Errorf("trace: read magic: %w", err)
+		return nil, fmt.Errorf("trace: truncated magic at byte offset %d (%d of %d bytes): %w",
+			start, n, len(traceMagic), err)
 	}
 	if string(magic) != traceMagic {
-		return nil, fmt.Errorf("trace: bad magic %q (not a serialized trace, or unsupported version)", magic)
+		return nil, fmt.Errorf("trace: bad magic %q at byte offset %d (not a serialized trace, trailing garbage, or unsupported version)",
+			magic, start)
 	}
-	first, err := readChunk(br)
+	first, err := d.readChunk()
 	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("trace: stream ends after magic at byte offset %d: %w", d.off, io.ErrUnexpectedEOF)
+		}
 		return nil, err
 	}
 	if first.Kind != chunkHeader || first.Header == nil {
-		return nil, fmt.Errorf("trace: stream does not start with a header chunk (kind %d)", first.Kind)
+		return nil, fmt.Errorf("trace: stream does not start with a header chunk (kind %d) at byte offset %d", first.Kind, start)
 	}
 	hdr := first.Header
+	if hdr.SampleCount < 0 || hdr.EventCount < 0 {
+		return nil, fmt.Errorf("trace: header at byte offset %d carries negative counts (%d samples, %d events)",
+			start, hdr.SampleCount, hdr.EventCount)
+	}
 	t := &Trace{
 		Model:               hdr.Model,
 		Ops:                 hdr.Ops,
@@ -247,25 +333,36 @@ func readOne(br *bufio.Reader) (*Trace, error) {
 		Reanchors:           hdr.Reanchors,
 		Health:              hdr.Health,
 	}
-	t.Samples = make([]cupti.Sample, 0, hdr.SampleCount)
-	events := make([]tfsim.TimelineEvent, 0, hdr.EventCount)
+	t.Samples = make([]cupti.Sample, 0, min(hdr.SampleCount, maxPrealloc))
+	events := make([]tfsim.TimelineEvent, 0, min(hdr.EventCount, maxPrealloc))
 	for {
-		c, err := readChunk(br)
+		chunkStart := d.off
+		c, err := d.readChunk()
 		if err != nil {
 			if errors.Is(err, io.EOF) {
-				err = io.ErrUnexpectedEOF
+				return nil, fmt.Errorf("trace: truncated stream: trace starting at byte offset %d ends mid-trace at byte offset %d: %w",
+					start, d.off, io.ErrUnexpectedEOF)
 			}
-			return nil, fmt.Errorf("trace: truncated stream: %w", err)
+			return nil, err
 		}
 		switch c.Kind {
 		case chunkSamples:
+			if len(t.Samples)+len(c.Samples) > hdr.SampleCount {
+				return nil, fmt.Errorf("trace: sample chunk at byte offset %d overflows the header's promise of %d samples",
+					chunkStart, hdr.SampleCount)
+			}
 			t.Samples = append(t.Samples, c.Samples...)
 		case chunkEvents:
+			if len(events)+len(c.Events) > hdr.EventCount {
+				return nil, fmt.Errorf("trace: event chunk at byte offset %d overflows the header's promise of %d events",
+					chunkStart, hdr.EventCount)
+			}
 			for _, rec := range c.Events {
 				ev := tfsim.TimelineEvent{Name: rec.Name, Start: rec.Start, End: rec.End, Iteration: rec.Iteration}
 				if rec.Op >= 0 {
 					if rec.Op >= len(t.Ops) {
-						return nil, fmt.Errorf("trace: event op index %d outside op table of %d", rec.Op, len(t.Ops))
+						return nil, fmt.Errorf("trace: event op index %d outside op table of %d (chunk at byte offset %d)",
+							rec.Op, len(t.Ops), chunkStart)
 					}
 					ev.Op = &t.Ops[rec.Op]
 				}
@@ -273,35 +370,40 @@ func readOne(br *bufio.Reader) (*Trace, error) {
 			}
 		case chunkEnd:
 			if len(t.Samples) != hdr.SampleCount {
-				return nil, fmt.Errorf("trace: stream carried %d samples, header promised %d", len(t.Samples), hdr.SampleCount)
+				return nil, fmt.Errorf("trace: stream carried %d samples, header promised %d (end chunk at byte offset %d)",
+					len(t.Samples), hdr.SampleCount, chunkStart)
 			}
 			if len(events) != hdr.EventCount {
-				return nil, fmt.Errorf("trace: stream carried %d timeline events, header promised %d", len(events), hdr.EventCount)
+				return nil, fmt.Errorf("trace: stream carried %d timeline events, header promised %d (end chunk at byte offset %d)",
+					len(events), hdr.EventCount, chunkStart)
 			}
 			t.Timeline = tfsim.TimelineFromEvents(events)
 			return t, nil
 		default:
-			return nil, fmt.Errorf("trace: unknown chunk kind %d", c.Kind)
+			return nil, fmt.Errorf("trace: unknown chunk kind %d at byte offset %d", c.Kind, chunkStart)
 		}
 	}
 }
 
-// ReadTraces decodes every trace from a concatenated stream until EOF.
+// ReadTrace decodes one trace from r. Use a Reader directly when reading
+// several traces from one stream incrementally, or ReadTraces to slurp them
+// all.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	return NewReader(r).Read()
+}
+
+// ReadTraces decodes every trace from a concatenated stream until EOF. Any
+// malformed tail — trailing garbage, a partial final chunk — is an error
+// carrying the byte offset, never a silently dropped trace.
 func ReadTraces(r io.Reader) ([]*Trace, error) {
-	br, ok := r.(*bufio.Reader)
-	if !ok {
-		br = bufio.NewReader(r)
-	}
+	d := NewReader(r)
 	var out []*Trace
 	for {
-		if _, err := br.Peek(1); err != nil {
+		t, err := d.Read()
+		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return out, nil
 			}
-			return nil, err
-		}
-		t, err := readOne(br)
-		if err != nil {
 			return nil, fmt.Errorf("trace: trace %d: %w", len(out), err)
 		}
 		out = append(out, t)

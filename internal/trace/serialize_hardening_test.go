@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"leakydnn/internal/cupti"
+	"leakydnn/internal/zoo"
+)
+
+// smallTrace builds a cheap synthetic trace for wire-format tests that do not
+// need a real co-run.
+func smallTrace(samples int) *Trace {
+	t := &Trace{}
+	for i := 0; i < samples; i++ {
+		t.Samples = append(t.Samples, cupti.Sample{})
+	}
+	return t
+}
+
+func traceBytes(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Trailing garbage after a complete trace must fail loudly with the byte
+// offset of the garbage, never silently drop the tail: a collection file
+// whose tail is damaged looks exactly like this.
+func TestReadTracesTrailingGarbageFailsWithOffset(t *testing.T) {
+	full := traceBytes(t, smallTrace(3))
+	damaged := append(append([]byte{}, full...), []byte("GARBAGE")...)
+	got, err := ReadTraces(bytes.NewReader(damaged))
+	if err == nil {
+		t.Fatalf("trailing garbage silently dropped: read %d traces", len(got))
+	}
+	want := fmt.Sprintf("byte offset %d", len(full))
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the garbage offset (%s)", err, want)
+	}
+}
+
+// A partial final chunk — the classic interrupted download — must fail with
+// the offset, and must not silently return only the complete prefix traces.
+func TestReadTracesPartialFinalChunkFailsWithOffset(t *testing.T) {
+	first := traceBytes(t, smallTrace(2))
+	second := traceBytes(t, smallTrace(5))
+	stream := append(append([]byte{}, first...), second...)
+	for _, cut := range []int{len(first) + 1, len(first) + len(second)/2, len(stream) - 1} {
+		got, err := ReadTraces(bytes.NewReader(stream[:cut]))
+		if err == nil {
+			t.Fatalf("cut at %d/%d accepted: read %d traces", cut, len(stream), len(got))
+		}
+		if !strings.Contains(err.Error(), "byte offset") {
+			t.Fatalf("cut at %d: error %q carries no byte offset", cut, err)
+		}
+		if !strings.Contains(err.Error(), "trace 1") {
+			t.Fatalf("cut at %d: error %q does not name the failing trace index", cut, err)
+		}
+	}
+}
+
+// A short single-byte truncation of the magic itself must also be loud.
+func TestReadTracePartialMagicFails(t *testing.T) {
+	full := traceBytes(t, smallTrace(1))
+	if _, err := ReadTrace(bytes.NewReader(full[:3])); err == nil ||
+		!strings.Contains(err.Error(), "byte offset 0") {
+		t.Fatalf("partial magic: err = %v, want truncated-magic error at offset 0", err)
+	}
+}
+
+// The Reader's chunk guard must reject oversized length prefixes before
+// buffering anything, and the offset accounting must line up across traces in
+// a stream.
+func TestReaderChunkGuardAndOffset(t *testing.T) {
+	first := traceBytes(t, smallTrace(2))
+	second := traceBytes(t, smallTrace(3))
+	stream := append(append([]byte{}, first...), second...)
+
+	d := NewReader(bytes.NewReader(stream))
+	if _, err := d.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Offset() != int64(len(first)) {
+		t.Fatalf("offset after first trace = %d, want %d", d.Offset(), len(first))
+	}
+	if _, err := d.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Offset() != int64(len(stream)) {
+		t.Fatalf("offset after second trace = %d, want %d", d.Offset(), len(stream))
+	}
+	if _, err := d.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("clean stream end: err = %v, want io.EOF", err)
+	}
+
+	tight := NewReader(bytes.NewReader(stream))
+	tight.SetMaxChunkBytes(8)
+	if _, err := tight.Read(); err == nil || !strings.Contains(err.Error(), "exceeds limit 8") {
+		t.Fatalf("tight chunk guard: err = %v, want exceeds-limit error", err)
+	}
+}
+
+// Hostile headers: a length prefix claiming gigabytes backed by no data, and
+// header counts that are negative or overflowed, must fail cheaply instead of
+// allocating or panicking.
+func TestReadTraceHostileHeader(t *testing.T) {
+	// Huge length prefix, no payload.
+	huge := append([]byte(traceMagic), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01)
+	if _, err := ReadTrace(bytes.NewReader(huge)); err == nil {
+		t.Fatal("overflowing length prefix accepted")
+	}
+	big := append([]byte(traceMagic), 0xff, 0xff, 0xff, 0x7f) // ~256 MB claim
+	if _, err := ReadTrace(bytes.NewReader(big)); err == nil ||
+		!strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized length prefix: err = %v, want exceeds-limit error", err)
+	}
+
+	// Negative header counts.
+	var buf bytes.Buffer
+	buf.WriteString(traceMagic)
+	if err := writeChunk(&buf, chunk{Kind: chunkHeader, Header: &traceHeader{SampleCount: -1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "negative counts") {
+		t.Fatalf("negative sample count: err = %v, want negative-counts error", err)
+	}
+
+	// A header promising more samples than the chunks deliver, with extra
+	// sample chunks beyond the promise, must be caught by the overflow check
+	// rather than ballooning memory.
+	buf.Reset()
+	buf.WriteString(traceMagic)
+	if err := writeChunk(&buf, chunk{Kind: chunkHeader, Header: &traceHeader{SampleCount: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	twoSamples := []cupti.Sample{{}, {}}
+	if err := writeChunk(&buf, chunk{Kind: chunkSamples, Samples: twoSamples}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "overflows the header") {
+		t.Fatalf("sample overflow: err = %v, want overflow error", err)
+	}
+}
+
+// A real collected trace must still round-trip through the hardened reader
+// with a tightened (but sufficient) chunk guard — the server-side ingestion
+// configuration.
+func TestReaderTightGuardAcceptsRealTrace(t *testing.T) {
+	tr, err := Collect(zoo.TinyTestedModels()[0], fastRun(71, 3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := traceBytes(t, tr)
+	d := NewReader(bytes.NewReader(raw))
+	d.SetMaxChunkBytes(4 << 20)
+	got, err := d.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != len(tr.Samples) {
+		t.Fatalf("round trip changed sample count: %d vs %d", len(got.Samples), len(tr.Samples))
+	}
+}
