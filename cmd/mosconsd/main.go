@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"leakydnn/internal/eval"
+	"leakydnn/internal/journal"
 	"leakydnn/internal/serve"
 )
 
@@ -44,8 +45,18 @@ func run() error {
 		timeout = flag.Duration("timeout", 2*time.Minute, "per-request extraction deadline")
 		drain   = flag.Duration("drain", 30*time.Second,
 			"SIGTERM drain budget: in-flight requests past it are hard-cancelled")
-		cacheDir = flag.String("cache", "", "model-set cache directory; empty keeps trained models in memory only")
-		qdir     = flag.String("quarantine", "", "directory capturing malformed uploads for postmortem; empty discards them")
+		cacheDir     = flag.String("cache", "", "model-set cache directory; empty keeps trained models in memory only")
+		cacheEntries = flag.Int("cache-entries", 0,
+			"maximum warm model sets resident at once; LRU sets beyond it are evicted from memory and disk (0 = unlimited)")
+		cacheBytes = flag.Int64("cache-bytes", 0,
+			"maximum serialized bytes across warm model sets; LRU eviction keeps the total under it (0 = unlimited)")
+		qdir   = flag.String("quarantine", "", "directory capturing malformed uploads for postmortem; empty discards them")
+		qFiles = flag.Int("quarantine-files", 0,
+			"maximum quarantined captures kept; oldest rotate out (0 = 32, negative = unlimited)")
+		qBytes = flag.Int64("quarantine-bytes", 0,
+			"maximum total quarantined bytes kept; oldest rotate out (0 = 64 MiB, negative = unlimited)")
+		journalPath = flag.String("journal", "",
+			"result journal: record every served extraction so a restarted daemon (including after SIGKILL) replays known uploads instead of re-extracting")
 		maxChunk = flag.Int64("max-chunk", 0, "per-chunk wire guard in bytes handed to the trace reader (0 = default)")
 		warm     = flag.Bool("warm", true, "train/load the model set before accepting traffic")
 	)
@@ -63,16 +74,33 @@ func run() error {
 	}
 	sc.Workers = *workers
 
-	s := serve.New(serve.Config{
-		Scale:          sc,
-		MaxInFlight:    *inflight,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		DrainTimeout:   *drain,
-		MaxChunkBytes:  *maxChunk,
-		QuarantineDir:  *qdir,
-		Cache:          serve.NewModelCache(*cacheDir),
-	})
+	cache := serve.NewModelCache(*cacheDir)
+	cache.SetLimits(*cacheEntries, *cacheBytes)
+	cfg := serve.Config{
+		Scale:              sc,
+		MaxInFlight:        *inflight,
+		QueueDepth:         *queue,
+		RequestTimeout:     *timeout,
+		DrainTimeout:       *drain,
+		MaxChunkBytes:      *maxChunk,
+		QuarantineDir:      *qdir,
+		QuarantineMaxFiles: *qFiles,
+		QuarantineMaxBytes: *qBytes,
+		Cache:              cache,
+	}
+	if *journalPath != "" {
+		j, err := journal.Open(*journalPath)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		if st := j.Stats(); st.Records > 0 || st.Truncated {
+			fmt.Fprintf(os.Stderr, "mosconsd: journal holds %d replayable results (torn tail: %v)\n",
+				st.Records, st.Truncated)
+		}
+		cfg.Journal = j
+	}
+	s := serve.New(cfg)
 
 	if *warm {
 		fmt.Fprintf(os.Stderr, "mosconsd: warming %s model set ...\n", serve.CacheKey(sc))

@@ -15,6 +15,7 @@ import (
 	"leakydnn/internal/dnn"
 	"leakydnn/internal/eval"
 	"leakydnn/internal/fleet"
+	"leakydnn/internal/journal"
 	"leakydnn/internal/lstm"
 	"leakydnn/internal/trace"
 )
@@ -64,6 +65,16 @@ func run() error {
 			"run a fleet of N independently seeded devices (heterogeneous classes and tenancy mixes, one attack per device) instead of the single-device pipeline")
 		fleetBudget = flag.Int("fleet-budget", 0,
 			"with -fleet: total slow-down channels shared across all devices (0 = unlimited)")
+		fleetChaos = flag.Float64("fleet-chaos", 0,
+			"with -fleet: device-fault intensity in [0,1] (canonical chaos.FleetAt mix: device crashes, spy kills, arming-session losses on first attempts)")
+		fleetRetries = flag.Int("fleet-retries", 2,
+			"with -fleet: bounded per-device retries on crash/timeout before quarantine (each retry draws a fresh keyed seed stream)")
+		fleetWatchdog = flag.Duration("fleet-watchdog", 0,
+			"with -fleet: per-device attempt deadline; an attempt past it is abandoned and retried (0 = none)")
+		journalPath = flag.String("journal", "",
+			"with -fleet: journal each device's result to this file (crash-safe, fsync'd); requires -resume if the file already holds records")
+		resume = flag.Bool("resume", false,
+			"with -fleet: replay completed devices from -journal instead of re-running them")
 	)
 	flag.Parse()
 
@@ -129,15 +140,45 @@ func run() error {
 
 	if *fleetN > 0 {
 		fmt.Printf("== MoSConS fleet: %d devices (%s scale) ==\n", *fleetN, sc.Name)
-		res, err := fleet.Run(fleet.Config{
-			Base:      sc,
-			Devices:   *fleetN,
-			SpyBudget: *fleetBudget,
-		})
+		cfg := fleet.Config{
+			Base:       sc,
+			Devices:    *fleetN,
+			SpyBudget:  *fleetBudget,
+			FleetChaos: chaos.FleetAt(*fleetChaos),
+			Retries:    *fleetRetries,
+			Watchdog:   *fleetWatchdog,
+		}
+		if *journalPath != "" {
+			j, err := journal.Open(*journalPath)
+			if err != nil {
+				return err
+			}
+			defer j.Close()
+			if n := len(j.Records()); n > 0 && !*resume {
+				return fmt.Errorf("journal %s already holds %d records; pass -resume to replay them or choose a fresh path", *journalPath, n)
+			}
+			if st := j.Stats(); st.Truncated {
+				fmt.Fprintf(os.Stderr, "journal: torn tail truncated (%d bytes lost to the crash)\n", st.TornBytes)
+			}
+			cfg.Journal = j
+		} else if *resume {
+			return fmt.Errorf("-resume requires -journal")
+		}
+		res, err := fleet.Run(cfg)
 		if err != nil {
 			return err
 		}
 		fmt.Print(fleet.RenderRollup(res.Devices))
+		// One stable fingerprint line per device: the crash-recovery soak
+		// diffs these between an interrupted-and-resumed campaign and its
+		// uninterrupted golden.
+		for i, d := range res.Devices {
+			fp := d.Fingerprint
+			if fp == "" {
+				fp = "quarantined:" + d.FailCause
+			}
+			fmt.Printf("fingerprint %03d %-24s %s\n", i, d.Spec.Name, fp)
+		}
 		fmt.Printf("aggregate scheduler grants: %d\n", res.TotalSchedSlices)
 		return nil
 	}

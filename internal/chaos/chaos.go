@@ -68,6 +68,11 @@ type Plan struct {
 	// victim input-pipeline stalls, driver resets of the spy's context, and
 	// co-tenant churn. See SchedPlan; its zero value injects nothing.
 	Sched SchedPlan
+
+	// Device injects process-level faults — whole-device crash, spy-process
+	// kill, arming-session loss, finite co-tenant schedules. See
+	// DeviceFaults; its zero value injects nothing.
+	Device DeviceFaults
 }
 
 // IsZero reports whether the plan injects nothing.
@@ -76,11 +81,13 @@ func (p Plan) IsZero() bool {
 }
 
 // MeasurementIsZero reports whether the measurement-path portion of the plan
-// injects nothing (the scheduling-side SchedPlan may still be active). With a
-// measurement-zero plan no sample-stream injector is built at all, keeping
-// the clean measurement path byte-identical.
+// injects nothing (the scheduling-side SchedPlan and device-level
+// DeviceFaults may still be active). With a measurement-zero plan no
+// sample-stream injector is built at all, keeping the clean measurement path
+// byte-identical.
 func (p Plan) MeasurementIsZero() bool {
 	p.Sched = SchedPlan{}
+	p.Device = DeviceFaults{}
 	return p == Plan{}
 }
 
@@ -113,7 +120,10 @@ func (p Plan) Validate() error {
 	if p.PreemptGapLen < 0 {
 		return fmt.Errorf("chaos: PreemptGapLen must be >= 0, got %d", p.PreemptGapLen)
 	}
-	return p.Sched.Validate()
+	if err := p.Sched.Validate(); err != nil {
+		return err
+	}
+	return p.Device.Validate()
 }
 
 // At returns the canonical fault mix at the given intensity in [0, 1]:

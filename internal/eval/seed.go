@@ -63,6 +63,12 @@ const (
 	// seed; the device's own experiments then re-derive their streams from
 	// that base.
 	StreamFleetDevice
+	// StreamFleetRetry derives a retried device attempt's base seed from the
+	// device's own base seed, indexed by attempt number (attempt 0 is the
+	// original base itself, so clean runs never touch this stream). Each
+	// retry draws from a fresh stream and cannot perturb — or be perturbed
+	// by — any other device's collection.
+	StreamFleetRetry
 )
 
 // splitmix64 is the finalizing mixer of Vigna's SplitMix64 generator: a

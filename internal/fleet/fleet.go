@@ -18,12 +18,16 @@ package fleet
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"time"
 
 	"leakydnn/internal/attack"
+	"leakydnn/internal/chaos"
 	"leakydnn/internal/dnn"
 	"leakydnn/internal/eval"
 	"leakydnn/internal/gpu"
+	"leakydnn/internal/journal"
 	"leakydnn/internal/par"
 	"leakydnn/internal/trace"
 )
@@ -104,6 +108,32 @@ type Config struct {
 	// victim co-run. This is the benchmark mode — the engine's aggregate
 	// slice throughput without the attack pipeline on top.
 	CollectOnly bool
+
+	// FleetChaos assigns device-level faults (whole-device crash, spy kill,
+	// arming-session loss, finite co-tenant schedules) across the campaign;
+	// see chaos.FleetPlan. The zero plan injects nothing and keeps every
+	// device's collection byte-identical to a fault-free fleet.
+	FleetChaos chaos.FleetPlan
+	// Retries bounds re-attempts per device after a crash or failure; the
+	// k-th retry draws its seed from the keyed retry stream
+	// (DeriveSeed(spec seed, StreamFleetRetry, k)), so a retried device can
+	// never perturb — or be perturbed by — any other device's collection.
+	// A device that exhausts every retry is quarantined with its cause, and
+	// the fleet delivers the survivors (partial results, never an abort).
+	Retries int
+	// RetryBackoff is the base host-side delay before a retry, doubling per
+	// attempt and capped at 8x. Zero retries immediately (tests).
+	RetryBackoff time.Duration
+	// Watchdog is the wall-clock deadline per device attempt: an attempt
+	// that exceeds it is abandoned and counted as "watchdog-timeout",
+	// triggering the retry path. Zero disables the watchdog.
+	Watchdog time.Duration
+	// Journal, when non-nil, records each completed device durably and skips
+	// devices whose records were replayed at open — the crash-safe
+	// checkpoint/resume path. The skipped devices' results are restored
+	// from the journal byte-identically (their collections are pure
+	// functions of the spec, so replay ≡ re-execution).
+	Journal *journal.Journal
 }
 
 // DeviceSpec is one device's fully resolved plan entry: everything its run
@@ -197,9 +227,21 @@ type DeviceResult struct {
 	// recovered structure. Together they are the determinism contract.
 	TraceHash   string
 	ExtractHash string
+	// Fingerprint is the canonical attack.Recovery fingerprint (empty in
+	// CollectOnly mode or when extraction failed) — the cross-run identity
+	// the journal resume path is pinned by.
+	Fingerprint string
 	// ExtractErr records a per-device extraction failure (a damaged trace
 	// is a result, not a fleet abort).
 	ExtractErr string
+	// Attempts is how many attempts this device ran (1 = clean first try).
+	Attempts int
+	// Quarantined marks a device that exhausted every retry; FailCause
+	// classifies why ("device-crash", "watchdog-timeout", "error").
+	Quarantined bool
+	FailCause   string
+	// Replayed marks a result restored from the journal instead of executed.
+	Replayed bool
 }
 
 // Result is a whole fleet's outcome, in device-index order.
@@ -207,6 +249,13 @@ type Result struct {
 	Devices []DeviceResult
 	// TotalSchedSlices aggregates the per-device engine grants.
 	TotalSchedSlices int
+	// Retried counts executed devices that needed more than one attempt;
+	// Quarantined counts permanent failures, broken down by cause in
+	// QuarantineCauses; Replayed counts devices restored from the journal.
+	Retried          int
+	Quarantined      int
+	QuarantineCauses map[string]int
+	Replayed         int
 }
 
 // Run plans and executes the fleet.
@@ -225,19 +274,145 @@ func Run(cfg Config) (*Result, error) {
 // sized by Base.Workers. Coordinators only block on pool results, so total
 // CPU concurrency is the pool size and Workers is the fleet's genuine
 // throughput knob; results come back in device-index order.
+//
+// Each device runs under a supervisor: a per-attempt watchdog deadline,
+// bounded retries on keyed retry-seed streams with capped backoff, durable
+// journaling of completed devices, and quarantine (never an abort) for
+// devices that exhaust every retry.
 func RunSpecs(cfg Config, specs []DeviceSpec) (*Result, error) {
+	if err := cfg.FleetChaos.Validate(); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	if cfg.Retries < 0 {
+		return nil, fmt.Errorf("fleet: Retries must be >= 0, got %d", cfg.Retries)
+	}
+	var replayed map[int]DeviceResult
+	if cfg.Journal != nil {
+		var err error
+		replayed, err = replayJournal(cfg, specs)
+		if err != nil {
+			return nil, err
+		}
+	}
 	pool := par.NewPool(cfg.Base.Workers)
 	devices, err := par.Map(0, len(specs), func(i int) (DeviceResult, error) {
-		return runDevice(specs[i], pool, cfg.CollectOnly)
+		if r, ok := replayed[i]; ok {
+			return r, nil
+		}
+		r := superviseDevice(cfg, specs[i], pool)
+		if cfg.Journal != nil {
+			if err := appendDeviceRecord(cfg.Journal, deviceKey(cfg, specs[i]), r); err != nil {
+				return DeviceResult{}, err
+			}
+		}
+		return r, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Devices: devices}
+	res := &Result{Devices: devices, QuarantineCauses: map[string]int{}}
 	for _, d := range devices {
 		res.TotalSchedSlices += d.SchedSlices
+		if d.Replayed {
+			res.Replayed++
+		} else if d.Attempts > 1 {
+			res.Retried++
+		}
+		if d.Quarantined {
+			res.Quarantined++
+			res.QuarantineCauses[d.FailCause]++
+		}
 	}
 	return res, nil
+}
+
+// Per-cause quarantine classifications.
+const (
+	CauseDeviceCrash     = "device-crash"
+	CauseWatchdogTimeout = "watchdog-timeout"
+	CauseError           = "error"
+)
+
+// errWatchdog marks an attempt abandoned by the supervisor's deadline.
+var errWatchdog = errors.New("fleet: device attempt exceeded watchdog deadline")
+
+// superviseDevice runs one device under the supervisor policy: attempt 0 on
+// the device's own seed, each retry k on the fresh DeriveSeed(seed,
+// StreamFleetRetry, k) stream after a capped-exponential backoff, every
+// attempt bounded by the watchdog. Fault injection comes from the campaign's
+// FleetPlan per (device, attempt), so the same attempt always faults — or
+// doesn't — identically. A device that exhausts every attempt is returned
+// quarantined with its last cause; it is a result, not an error.
+func superviseDevice(cfg Config, spec DeviceSpec, pool *par.Pool) DeviceResult {
+	maxAttempts := cfg.Retries + 1
+	var lastCause, lastErr string
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 && cfg.RetryBackoff > 0 {
+			delay := cfg.RetryBackoff << (attempt - 1)
+			if max := 8 * cfg.RetryBackoff; delay > max {
+				delay = max
+			}
+			time.Sleep(delay)
+		}
+		aspec := spec
+		if attempt > 0 {
+			aspec.Scale.Seed = eval.DeriveSeed(spec.Scale.Seed, eval.StreamFleetRetry, int64(attempt))
+		}
+		aspec.Scale.Chaos.Device = cfg.FleetChaos.FaultsFor(spec.Index, attempt)
+
+		res, err := runAttempt(cfg, aspec, pool)
+		if err == nil {
+			// The result carries the attempt's spec (retry seed and injected
+			// faults included) so a consumer can see what actually ran, but
+			// keeps the planned index/name identity.
+			res.Attempts = attempt + 1
+			return res
+		}
+		lastErr = err.Error()
+		var crash *chaos.DeviceCrashError
+		switch {
+		case errors.As(err, &crash):
+			lastCause = CauseDeviceCrash
+		case errors.Is(err, errWatchdog):
+			lastCause = CauseWatchdogTimeout
+		default:
+			lastCause = CauseError
+		}
+	}
+	return DeviceResult{
+		Spec:        spec,
+		Attempts:    maxAttempts,
+		Quarantined: true,
+		FailCause:   lastCause,
+		ExtractErr:  lastErr,
+	}
+}
+
+// runAttempt executes one device attempt, bounded by the watchdog. An
+// abandoned attempt keeps running on the pool until its horizon — its result
+// is discarded — which mirrors a real watchdog: the stuck process is given up
+// on, not surgically cancelled.
+func runAttempt(cfg Config, spec DeviceSpec, pool *par.Pool) (DeviceResult, error) {
+	if cfg.Watchdog <= 0 {
+		return runDevice(spec, pool, cfg.CollectOnly)
+	}
+	type outcome struct {
+		res DeviceResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, e := runDevice(spec, pool, cfg.CollectOnly)
+		ch <- outcome{r, e}
+	}()
+	timer := time.NewTimer(cfg.Watchdog)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.res, out.err
+	case <-timer.C:
+		return DeviceResult{}, errWatchdog
+	}
 }
 
 // runDevice executes one device end to end: victim co-run under the device's
@@ -298,6 +473,7 @@ func runDevice(spec DeviceSpec, pool *par.Pool, collectOnly bool) (DeviceResult,
 	truth := attack.LetterTruth(tr.Labels(), rec.Base)
 	_, res.LetterAcc = attack.LetterAccuracy(rec.Letters, truth)
 	res.ExtractHash = hashRecovery(rec)
+	res.Fingerprint = rec.Fingerprint()
 	return res, nil
 }
 

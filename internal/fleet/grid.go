@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -68,7 +69,11 @@ func AccuracyGrid(cfg Config, counts []int) (*Grid, error) {
 				if d.Spec.Mix != mix {
 					continue
 				}
-				if d.ExtractErr != "" {
+				// Quarantined devices (and extraction failures) are excluded
+				// from the means but stay visible in the Failed column — the
+				// grid is an aggregate over survivors, never a zero-value
+				// hole.
+				if d.Quarantined || d.ExtractErr != "" {
 					cell.Failed++
 					continue
 				}
@@ -108,10 +113,13 @@ func (g *Grid) Render() string {
 	return b.String()
 }
 
-// RenderRollup prints the per-device Coverage/Health lines.
+// RenderRollup prints the per-device Coverage/Health lines plus the
+// supervisor's retry/quarantine/replay accounting.
 func RenderRollup(devices []DeviceResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Per-device rollup (spy allocation, yield, coverage, health)\n")
+	retried, replayed := 0, 0
+	quarantined := map[string]int{}
 	for _, d := range devices {
 		alloc := "full"
 		switch {
@@ -120,6 +128,16 @@ func RenderRollup(devices []DeviceResult) string {
 		case d.Spec.Slowdown > 0:
 			alloc = fmt.Sprintf("%d ch", d.Spec.Slowdown)
 		}
+		if d.Quarantined {
+			quarantined[d.FailCause]++
+			fmt.Fprintf(&b, "  %-24s spy=%-10s QUARANTINED after %d attempts (%s)",
+				d.Spec.Name, alloc, d.Attempts, d.FailCause)
+			if d.ExtractErr != "" {
+				fmt.Fprintf(&b, ": %s", d.ExtractErr)
+			}
+			b.WriteString("\n")
+			continue
+		}
 		fmt.Fprintf(&b, "  %-24s spy=%-10s %6.1f samples/iter  segs %d/%d  iters %d/%d",
 			d.Spec.Name, alloc, d.SamplesPerIter,
 			d.Coverage.SegmentsValid, d.Coverage.SegmentsDetected,
@@ -127,10 +145,36 @@ func RenderRollup(devices []DeviceResult) string {
 		if d.Health.SpyChannelsRejected > 0 {
 			fmt.Fprintf(&b, "  rejected=%d", d.Health.SpyChannelsRejected)
 		}
+		if d.Attempts > 1 {
+			retried++
+			fmt.Fprintf(&b, "  attempts=%d", d.Attempts)
+		}
+		if d.Replayed {
+			replayed++
+			fmt.Fprintf(&b, "  [journal]")
+		}
 		if d.ExtractErr != "" {
 			fmt.Fprintf(&b, "  EXTRACT FAILED: %s", d.ExtractErr)
 		} else {
 			fmt.Fprintf(&b, "  acc %.0f/%.0f/%.0f", d.LetterAcc*100, d.LayerAcc*100, d.HPAcc*100)
+		}
+		b.WriteString("\n")
+	}
+	if retried+len(quarantined)+replayed > 0 {
+		fmt.Fprintf(&b, "Supervisor: %d retried, %d replayed from journal", retried, replayed)
+		if len(quarantined) > 0 {
+			causes := make([]string, 0, len(quarantined))
+			for c := range quarantined {
+				causes = append(causes, c)
+			}
+			sort.Strings(causes)
+			total := 0
+			parts := make([]string, len(causes))
+			for i, c := range causes {
+				parts[i] = fmt.Sprintf("%s %d", c, quarantined[c])
+				total += quarantined[c]
+			}
+			fmt.Fprintf(&b, ", %d quarantined [%s]", total, strings.Join(parts, ", "))
 		}
 		b.WriteString("\n")
 	}

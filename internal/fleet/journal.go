@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+
+	"leakydnn/internal/attack"
+	"leakydnn/internal/journal"
+	"leakydnn/internal/trace"
+)
+
+// recordKind namespaces fleet records in a journal shared with other
+// producers (mosconsd writes serve-extract records into the same file).
+const recordKind = "fleet-device"
+
+// deviceKey canonically hashes everything a device's result is a pure
+// function of: the campaign identity (base scale name + seed, mode, budget,
+// retry policy, fleet fault plan) and the resolved spec (index, class, mix,
+// tenancy, spy allocation, derived seed, workload, per-run chaos plan). The
+// enumeration is explicit field by field — never reflection over whole
+// structs — because eval.Scale carries unexported pool state and function
+// values whose formatting is nondeterministic. Two runs agree on a key iff
+// re-executing the device would reproduce the recorded result byte for byte.
+func deviceKey(cfg Config, spec DeviceSpec) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "campaign|%s|%d|%t|%d|%d|%+v\n",
+		cfg.Base.Name, cfg.Base.Seed, cfg.CollectOnly, cfg.SpyBudget, cfg.Retries, cfg.FleetChaos)
+	fmt.Fprintf(h, "spec|%d|%s|%s|%s|%d|%d|%d|%s|%d|%d|%d|%s|%+v\n",
+		spec.Index, spec.Name, spec.Class, spec.Mix, spec.Tenants, spec.Slowdown,
+		spec.Scale.Seed, spec.Scale.Name, spec.Scale.Iterations,
+		int64(spec.Scale.IterGap), int64(spec.Scale.SamplePeriod),
+		spec.Victim.Name, spec.Scale.Chaos)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// deviceRecord is the journaled payload: the DeviceResult minus its Spec
+// (restored from the live plan on replay, so a journal never resurrects a
+// stale spec) and minus the Replayed marker.
+type deviceRecord struct {
+	LetterAcc, LayerAcc, HPAcc float64
+	SamplesPerIter             float64
+	Coverage                   attack.Coverage
+	Health                     *trace.Health
+	SchedSlices                int
+	TraceHash                  string
+	ExtractHash                string
+	Fingerprint                string
+	ExtractErr                 string
+	Attempts                   int
+	Quarantined                bool
+	FailCause                  string
+}
+
+// appendDeviceRecord durably journals one completed (or quarantined) device.
+func appendDeviceRecord(j *journal.Journal, key string, r DeviceResult) error {
+	rec := deviceRecord{
+		LetterAcc:      r.LetterAcc,
+		LayerAcc:       r.LayerAcc,
+		HPAcc:          r.HPAcc,
+		SamplesPerIter: r.SamplesPerIter,
+		Coverage:       r.Coverage,
+		Health:         r.Health,
+		SchedSlices:    r.SchedSlices,
+		TraceHash:      r.TraceHash,
+		ExtractHash:    r.ExtractHash,
+		Fingerprint:    r.Fingerprint,
+		ExtractErr:     r.ExtractErr,
+		Attempts:       r.Attempts,
+		Quarantined:    r.Quarantined,
+		FailCause:      r.FailCause,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return fmt.Errorf("fleet: encode journal record for %s: %w", r.Spec.Name, err)
+	}
+	if err := j.Append(journal.Record{Kind: recordKind, Key: key, Payload: buf.Bytes()}); err != nil {
+		return fmt.Errorf("fleet: journal %s: %w", r.Spec.Name, err)
+	}
+	return nil
+}
+
+// replayJournal matches the journal's replayed records against the live plan
+// and returns the spec-indexed results to restore. Records for other kinds,
+// other campaigns, or specs no longer in the plan are ignored (the journal is
+// append-only; a changed plan simply re-executes what no longer matches).
+// A corrupt payload under a matching key is an error — the key promises the
+// producer wrote it, so unreadable bytes mean real damage past the CRC.
+func replayJournal(cfg Config, specs []DeviceSpec) (map[int]DeviceResult, error) {
+	keys := make(map[string]int, len(specs))
+	for i, spec := range specs {
+		keys[deviceKey(cfg, spec)] = i
+	}
+	out := make(map[int]DeviceResult)
+	for _, rec := range cfg.Journal.Records() {
+		if rec.Kind != recordKind {
+			continue
+		}
+		i, ok := keys[rec.Key]
+		if !ok {
+			continue
+		}
+		var dr deviceRecord
+		if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(&dr); err != nil {
+			return nil, fmt.Errorf("fleet: journal record for %s undecodable: %w", specs[i].Name, err)
+		}
+		out[i] = DeviceResult{
+			Spec:           specs[i],
+			LetterAcc:      dr.LetterAcc,
+			LayerAcc:       dr.LayerAcc,
+			HPAcc:          dr.HPAcc,
+			SamplesPerIter: dr.SamplesPerIter,
+			Coverage:       dr.Coverage,
+			Health:         dr.Health,
+			SchedSlices:    dr.SchedSlices,
+			TraceHash:      dr.TraceHash,
+			ExtractHash:    dr.ExtractHash,
+			Fingerprint:    dr.Fingerprint,
+			ExtractErr:     dr.ExtractErr,
+			Attempts:       dr.Attempts,
+			Quarantined:    dr.Quarantined,
+			FailCause:      dr.FailCause,
+			Replayed:       true,
+		}
+	}
+	return out, nil
+}

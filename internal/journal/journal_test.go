@@ -1,0 +1,229 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tmpJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "run.journal")
+}
+
+func mustOpen(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return j
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := tmpJournal(t)
+	j := mustOpen(t, path)
+	recs := []Record{
+		{Kind: "fleet-device", Key: "dev0", Payload: []byte("alpha")},
+		{Kind: "fleet-device", Key: "dev1", Payload: nil},
+		{Kind: "serve-extract", Key: "up-abcdef", Payload: bytes.Repeat([]byte{0x5a}, 4096)},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2 := mustOpen(t, path)
+	defer j2.Close()
+	if st := j2.Stats(); st.Records != len(recs) || st.Truncated || st.TornBytes != 0 {
+		t.Fatalf("stats = %+v, want %d clean records", st, len(recs))
+	}
+	got := j2.Records()
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range recs {
+		if got[i].Kind != r.Kind || got[i].Key != r.Key || !bytes.Equal(got[i].Payload, r.Payload) {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], r)
+		}
+	}
+}
+
+func TestJournalAppendAfterReopen(t *testing.T) {
+	path := tmpJournal(t)
+	j := mustOpen(t, path)
+	if err := j.Append(Record{Kind: "k", Key: "a", Payload: []byte("1")}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2 := mustOpen(t, path)
+	if err := j2.Append(Record{Kind: "k", Key: "b", Payload: []byte("2")}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3 := mustOpen(t, path)
+	defer j3.Close()
+	got := j3.Records()
+	if len(got) != 2 || got[0].Key != "a" || got[1].Key != "b" {
+		t.Fatalf("after reopen-append got %+v, want keys a,b", got)
+	}
+}
+
+// TestJournalTornTail covers the SIGKILL-mid-append case: truncating the file
+// at every byte inside the final frame must drop exactly that record, keep
+// every earlier one, and leave the file appendable.
+func TestJournalTornTail(t *testing.T) {
+	path := tmpJournal(t)
+	j := mustOpen(t, path)
+	if err := j.Append(Record{Kind: "k", Key: "keep", Payload: []byte("payload-0")}); err != nil {
+		t.Fatal(err)
+	}
+	sizeAfterFirst := fileSize(t, path)
+	if err := j.Append(Record{Kind: "k", Key: "torn", Payload: []byte("payload-1")}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := sizeAfterFirst + 1; cut < int64(len(full)); cut++ {
+		cut := cut
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			p := filepath.Join(t.TempDir(), "torn.journal")
+			if err := os.WriteFile(p, full[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			j, err := Open(p)
+			if err != nil {
+				t.Fatalf("Open torn: %v", err)
+			}
+			defer j.Close()
+			st := j.Stats()
+			if st.Records != 1 || !st.Truncated || st.TornBytes != cut-sizeAfterFirst {
+				t.Fatalf("stats = %+v, want 1 record + %d torn bytes", st, cut-sizeAfterFirst)
+			}
+			if got := j.Records(); len(got) != 1 || got[0].Key != "keep" {
+				t.Fatalf("records = %+v, want only 'keep'", got)
+			}
+			// The truncated file must accept new appends at the boundary.
+			if err := j.Append(Record{Kind: "k", Key: "after", Payload: []byte("x")}); err != nil {
+				t.Fatalf("append after truncation: %v", err)
+			}
+			j.Close()
+			j2 := mustOpen(t, p)
+			defer j2.Close()
+			if got := j2.Records(); len(got) != 2 || got[1].Key != "after" {
+				t.Fatalf("after re-append records = %+v", got)
+			}
+		})
+	}
+}
+
+// TestJournalCRCCorruption flips one byte in each record's body in turn: the
+// corrupt record and everything after it must be discarded (append-only logs
+// cannot trust anything past the first bad frame).
+func TestJournalCRCCorruption(t *testing.T) {
+	path := tmpJournal(t)
+	j := mustOpen(t, path)
+	for i := 0; i < 3; i++ {
+		if err := j.Append(Record{Kind: "k", Key: fmt.Sprintf("dev%d", i), Payload: []byte{byte(i), byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside the second record's frame: record 0 survives,
+	// records 1 and 2 are discarded.
+	frameLen := (int64(len(full)) - int64(len(Magic))) / 3
+	flipAt := int64(len(Magic)) + frameLen + frameLen/2
+	corrupt := append([]byte(nil), full...)
+	corrupt[flipAt] ^= 0xff
+	p := filepath.Join(t.TempDir(), "corrupt.journal")
+	if err := os.WriteFile(p, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(p)
+	if err != nil {
+		t.Fatalf("Open corrupt: %v", err)
+	}
+	defer j2.Close()
+	got := j2.Records()
+	if len(got) != 1 || got[0].Key != "dev0" {
+		t.Fatalf("records = %+v, want only dev0", got)
+	}
+	if st := j2.Stats(); !st.Truncated || st.TornBytes != int64(len(full))-int64(len(Magic))-frameLen {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestJournalBadMagic(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "bad.journal")
+	if err := os.WriteFile(p, []byte("NOTAJRNLxxxx"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(p); err == nil {
+		t.Fatal("Open accepted a file with bad magic")
+	}
+}
+
+func TestJournalRejectsOversizeAndEmptyFields(t *testing.T) {
+	j := mustOpen(t, tmpJournal(t))
+	defer j.Close()
+	if err := j.Append(Record{Kind: "", Key: "k"}); err == nil {
+		t.Error("accepted empty kind")
+	}
+	if err := j.Append(Record{Kind: "k", Key: ""}); err == nil {
+		t.Error("accepted empty key")
+	}
+	if err := j.Append(Record{Kind: string(bytes.Repeat([]byte{'a'}, 256)), Key: "k"}); err == nil {
+		t.Error("accepted 256-byte kind")
+	}
+}
+
+// TestJournalConcurrentAppend exercises the mutex under -race: concurrent
+// appends must all land intact (order unspecified).
+func TestJournalConcurrentAppend(t *testing.T) {
+	path := tmpJournal(t)
+	j := mustOpen(t, path)
+	const n = 16
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			done <- j.Append(Record{Kind: "k", Key: fmt.Sprintf("g%02d", i), Payload: []byte{byte(i)}})
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	j2 := mustOpen(t, path)
+	defer j2.Close()
+	if got := len(j2.Records()); got != n {
+		t.Fatalf("replayed %d records, want %d", got, n)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}

@@ -24,6 +24,10 @@ import (
 //   - corruption containment: a cached file whose checksum does not verify
 //     (attack.ErrModelSetCorrupt) — or that fails to load for any reason — is
 //     deleted and rebuilt, never served and never fatal.
+//   - bounded residency: SetLimits caps the warm set by entry count and byte
+//     budget; the least-recently-used entries are evicted (memory and disk)
+//     when a population pushes past either cap, so a daemon serving many
+//     scales cannot grow without bound.
 type ModelCache struct {
 	dir string
 
@@ -33,18 +37,29 @@ type ModelCache struct {
 
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+	// useSeq is a logical clock for LRU: every hit or population stamps the
+	// entry, so eviction order never depends on wall time.
+	useSeq int64
+	// maxEntries/maxBytes are the residency caps (0 = unlimited).
+	maxEntries int
+	maxBytes   int64
 
 	// Counters for /healthz: how population went, not per-request traffic.
 	hits            atomic.Int64
 	misses          atomic.Int64
 	corruptRebuilds atomic.Int64
 	persistFailures atomic.Int64
+	evictions       atomic.Int64
 }
 
 type cacheEntry struct {
 	ready  chan struct{} // closed when models/err are set
 	models *attack.Models
 	err    error
+	// bytes is the serialized size of the set (0 when no byte cap is set);
+	// lastUse is the useSeq stamp of the most recent Get.
+	bytes   int64
+	lastUse int64
 }
 
 // NewModelCache builds a cache persisting to dir; dir == "" keeps populated
@@ -63,6 +78,26 @@ func NewModelCache(dir string) *ModelCache {
 	}
 }
 
+// SetLimits caps the cache's warm residency: at most maxEntries model sets
+// and at most maxBytes of serialized weight across them (0 disables a cap).
+// When a population pushes past either cap, the least-recently-used ready
+// entries are dropped from memory and their disk files removed; the entry
+// that just populated is never its own eviction victim, so a single
+// over-budget set still serves.
+func (c *ModelCache) SetLimits(maxEntries int, maxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	c.maxEntries = maxEntries
+	c.maxBytes = maxBytes
+	c.evictLocked("")
+}
+
 // CacheKey names the model set a scale configuration trains: the scale's name
 // and seed pin the profiled zoo, the time constants, and every random draw, so
 // two equal keys train byte-identical sets.
@@ -70,22 +105,33 @@ func CacheKey(sc eval.Scale) string {
 	return fmt.Sprintf("%s-seed%d", sc.Name, sc.Seed)
 }
 
-// Stats reports the cache's population counters.
+// Stats reports the cache's population counters and current residency.
 type CacheStats struct {
 	Hits            int64 `json:"hits"`
 	Misses          int64 `json:"misses"`
 	CorruptRebuilds int64 `json:"corrupt_rebuilds"`
 	PersistFailures int64 `json:"persist_failures"`
+	Evictions       int64 `json:"evictions"`
+	Entries         int   `json:"entries"`
+	Bytes           int64 `json:"bytes"`
 }
 
 // Stats reads the population counters.
 func (c *ModelCache) Stats() CacheStats {
-	return CacheStats{
+	s := CacheStats{
 		Hits:            c.hits.Load(),
 		Misses:          c.misses.Load(),
 		CorruptRebuilds: c.corruptRebuilds.Load(),
 		PersistFailures: c.persistFailures.Load(),
+		Evictions:       c.evictions.Load(),
 	}
+	c.mu.Lock()
+	s.Entries = len(c.entries)
+	for _, e := range c.entries {
+		s.Bytes += e.bytes
+	}
+	c.mu.Unlock()
+	return s
 }
 
 // Get returns the trained model set for sc, populating it (from disk or by
@@ -97,6 +143,8 @@ func (c *ModelCache) Get(ctx context.Context, sc eval.Scale) (*attack.Models, er
 	key := CacheKey(sc)
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
+		c.useSeq++
+		e.lastUse = c.useSeq
 		c.mu.Unlock()
 		c.hits.Add(1)
 		select {
@@ -107,6 +155,8 @@ func (c *ModelCache) Get(ctx context.Context, sc eval.Scale) (*attack.Models, er
 		}
 	}
 	e := &cacheEntry{ready: make(chan struct{})}
+	c.useSeq++
+	e.lastUse = c.useSeq
 	c.entries[key] = e
 	c.mu.Unlock()
 	c.misses.Add(1)
@@ -118,9 +168,78 @@ func (c *ModelCache) Get(ctx context.Context, sc eval.Scale) (*attack.Models, er
 		c.mu.Lock()
 		delete(c.entries, key)
 		c.mu.Unlock()
+	} else {
+		c.mu.Lock()
+		if c.maxBytes > 0 {
+			e.bytes = modelSetBytes(e.models)
+		}
+		c.evictLocked(key)
+		c.mu.Unlock()
 	}
 	close(e.ready)
 	return e.models, e.err
+}
+
+// evictLocked drops least-recently-used ready entries until both residency
+// caps hold again. The keep key (the entry that just populated) and entries
+// still populating are never victims. Caller holds c.mu.
+func (c *ModelCache) evictLocked(keep string) {
+	over := func() bool {
+		if c.maxEntries > 0 && len(c.entries) > c.maxEntries {
+			return true
+		}
+		if c.maxBytes > 0 {
+			var total int64
+			for _, e := range c.entries {
+				total += e.bytes
+			}
+			return total > c.maxBytes
+		}
+		return false
+	}
+	for over() {
+		victim := ""
+		var oldest int64
+		for k, e := range c.entries {
+			if k == keep {
+				continue
+			}
+			select {
+			case <-e.ready:
+			default:
+				continue // still populating; its bytes are unknown anyway
+			}
+			if victim == "" || e.lastUse < oldest {
+				victim, oldest = k, e.lastUse
+			}
+		}
+		if victim == "" {
+			return // nothing evictable: a lone over-budget set still serves
+		}
+		delete(c.entries, victim)
+		if c.dir != "" {
+			os.Remove(c.path(victim))
+		}
+		c.evictions.Add(1)
+	}
+}
+
+// countWriter measures a model set's serialized size without keeping bytes.
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// modelSetBytes is the byte cost a set charges against the cache budget: its
+// serialized size, the same bytes the disk cache would hold.
+func modelSetBytes(m *attack.Models) int64 {
+	var cw countWriter
+	if err := m.Save(&cw); err != nil {
+		return 0
+	}
+	return cw.n
 }
 
 func (c *ModelCache) path(key string) string {

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"leakydnn/internal/journal"
+)
+
+// serveRecordKind namespaces the daemon's records in a journal shared with
+// other producers (fleet campaigns write fleet-device records into the same
+// file format).
+const serveRecordKind = "serve-extract"
+
+// resultKey names one extraction result: the scale key pins the model set the
+// answer was computed with, the body hash pins the exact trace bytes. Equal
+// keys mean the stored response is byte-for-byte the one a re-extraction
+// would produce, because the pipeline is deterministic in (models, trace).
+func (s *Server) resultKey(bodyHash string) string {
+	return fmt.Sprintf("%s|%s", CacheKey(s.cfg.Scale), bodyHash)
+}
+
+// loadJournal indexes the journal's replayed records so a warm-restarted
+// daemon (after SIGKILL, the journal's torn tail already truncated by Open)
+// answers previously-served uploads without re-extracting.
+func (s *Server) loadJournal() {
+	s.jreplay = make(map[string][]byte)
+	if s.cfg.Journal == nil {
+		return
+	}
+	for _, rec := range s.cfg.Journal.Records() {
+		if rec.Kind != serveRecordKind {
+			continue
+		}
+		s.jreplay[rec.Key] = rec.Payload
+	}
+}
+
+// replayResult returns the stored per-trace results for a key, if the journal
+// holds them. A payload that no longer decodes is ignored (and will be
+// re-recorded after the fresh extraction): replay is an optimization, never a
+// correctness dependency.
+func (s *Server) replayResult(key string) ([]TraceResult, bool) {
+	s.jmu.Lock()
+	payload, ok := s.jreplay[key]
+	s.jmu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	var traces []TraceResult
+	if err := json.Unmarshal(payload, &traces); err != nil {
+		return nil, false
+	}
+	return traces, true
+}
+
+// recordResult durably journals one served extraction and mirrors it into the
+// in-memory index. Journaling is best-effort: a full disk degrades the warm
+// restart, it does not fail the request that already has its answer.
+func (s *Server) recordResult(key string, traces []TraceResult) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	payload, err := json.Marshal(traces)
+	if err != nil {
+		return
+	}
+	if err := s.cfg.Journal.Append(journal.Record{Kind: serveRecordKind, Key: key, Payload: payload}); err != nil {
+		s.metrics.journalFailures.Add(1)
+		return
+	}
+	s.jmu.Lock()
+	s.jreplay[key] = payload
+	s.jmu.Unlock()
+}

@@ -25,11 +25,19 @@ type Metrics struct {
 	cancelled atomic.Int64
 
 	// Quarantined counts uploads rejected as malformed mid-stream (truncated
-	// or corrupt trace bytes); TracesExtracted counts individual traces
-	// successfully extracted across all requests (one request may carry
-	// several).
-	quarantined     atomic.Int64
-	tracesExtracted atomic.Int64
+	// or corrupt trace bytes); QuarantineRotated counts old captures deleted
+	// to keep the quarantine directory under its caps; TracesExtracted counts
+	// individual traces successfully extracted across all requests (one
+	// request may carry several).
+	quarantined       atomic.Int64
+	quarantineRotated atomic.Int64
+	tracesExtracted   atomic.Int64
+
+	// Replayed counts requests answered from the result journal (warm
+	// restart) without re-extraction; JournalFailures counts results that
+	// could not be durably recorded (served anyway, lost to the next restart).
+	replayed        atomic.Int64
+	journalFailures atomic.Int64
 
 	// queued and inFlight are gauges: requests admitted but waiting for an
 	// execution slot, and requests holding one.
@@ -41,30 +49,36 @@ type Metrics struct {
 // (each field is individually atomic; the set is not a transaction, which is
 // fine for monitoring).
 type MetricsSnapshot struct {
-	Admitted        int64 `json:"admitted"`
-	Shed            int64 `json:"shed"`
-	Draining        int64 `json:"draining_rejects"`
-	Completed       int64 `json:"completed"`
-	Failed          int64 `json:"failed"`
-	Cancelled       int64 `json:"cancelled"`
-	Quarantined     int64 `json:"quarantined"`
-	TracesExtracted int64 `json:"traces_extracted"`
-	Queued          int64 `json:"queued"`
-	InFlight        int64 `json:"in_flight"`
+	Admitted          int64 `json:"admitted"`
+	Shed              int64 `json:"shed"`
+	Draining          int64 `json:"draining_rejects"`
+	Completed         int64 `json:"completed"`
+	Failed            int64 `json:"failed"`
+	Cancelled         int64 `json:"cancelled"`
+	Quarantined       int64 `json:"quarantined"`
+	QuarantineRotated int64 `json:"quarantine_rotated"`
+	TracesExtracted   int64 `json:"traces_extracted"`
+	Replayed          int64 `json:"replayed"`
+	JournalFailures   int64 `json:"journal_failures"`
+	Queued            int64 `json:"queued"`
+	InFlight          int64 `json:"in_flight"`
 }
 
 // Snapshot reads every counter and gauge.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		Admitted:        m.admitted.Load(),
-		Shed:            m.shed.Load(),
-		Draining:        m.draining.Load(),
-		Completed:       m.completed.Load(),
-		Failed:          m.failed.Load(),
-		Cancelled:       m.cancelled.Load(),
-		Quarantined:     m.quarantined.Load(),
-		TracesExtracted: m.tracesExtracted.Load(),
-		Queued:          m.queued.Load(),
-		InFlight:        m.inFlight.Load(),
+		Admitted:          m.admitted.Load(),
+		Shed:              m.shed.Load(),
+		Draining:          m.draining.Load(),
+		Completed:         m.completed.Load(),
+		Failed:            m.failed.Load(),
+		Cancelled:         m.cancelled.Load(),
+		Quarantined:       m.quarantined.Load(),
+		QuarantineRotated: m.quarantineRotated.Load(),
+		TracesExtracted:   m.tracesExtracted.Load(),
+		Replayed:          m.replayed.Load(),
+		JournalFailures:   m.journalFailures.Load(),
+		Queued:            m.queued.Load(),
+		InFlight:          m.inFlight.Load(),
 	}
 }

@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"leakydnn/internal/attack"
+	"leakydnn/internal/cupti"
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/eval"
+	"leakydnn/internal/journal"
+	"leakydnn/internal/trace"
+)
+
+// journaledServer builds a daemon over the journal at path with a counting
+// stub extractor, so replay tests can assert how many extractions really ran.
+func journaledServer(t *testing.T, path string, extracts *atomic.Int64) *Server {
+	t.Helper()
+	j, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	s := New(Config{Scale: eval.Tiny(), Cache: stubCache(), Journal: j})
+	s.extract = func(ctx context.Context, m *attack.Models, tr *trace.Trace) (*attack.Recovery, error) {
+		extracts.Add(1)
+		return &attack.Recovery{OpSeq: "stub-" + tr.Model.Name}, nil
+	}
+	return s
+}
+
+func decodeExtract(t *testing.T, body []byte) ExtractResponse {
+	t.Helper()
+	var out ExtractResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("response is not JSON: %v (%q)", err, body)
+	}
+	return out
+}
+
+// TestResultJournalReplaysAcrossRestart is the daemon's warm-restart
+// guarantee: a journaled extraction is answered from the record on every
+// later upload of the same bytes — in the same process and in a fresh one
+// started over the same journal — with identical fingerprints and zero
+// re-extraction.
+func TestResultJournalReplaysAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.journal")
+	var extracts atomic.Int64
+	s := journaledServer(t, path, &extracts)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	upload := stubUpload(t)
+
+	resp, body := postExtract(t, ts.Client(), ts.URL, upload)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first upload: status %d (body %q)", resp.StatusCode, body)
+	}
+	first := decodeExtract(t, body)
+	if first.Replayed {
+		t.Fatal("fresh extraction marked replayed")
+	}
+	if extracts.Load() != 1 {
+		t.Fatalf("extractions = %d, want 1", extracts.Load())
+	}
+
+	// Same bytes again: answered from the journal, not the pipeline.
+	resp, body = postExtract(t, ts.Client(), ts.URL, upload)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay upload: status %d (body %q)", resp.StatusCode, body)
+	}
+	second := decodeExtract(t, body)
+	if !second.Replayed {
+		t.Fatal("repeat upload not served from the journal")
+	}
+	if extracts.Load() != 1 {
+		t.Fatalf("replay re-extracted: %d extractions", extracts.Load())
+	}
+	if len(second.Traces) != 1 || second.Traces[0].Fingerprint != first.Traces[0].Fingerprint {
+		t.Fatalf("replayed fingerprint diverged: %+v vs %+v", second.Traces, first.Traces)
+	}
+	if got := s.Metrics().Replayed; got != 1 {
+		t.Fatalf("replayed counter = %d, want 1", got)
+	}
+
+	// Different bytes miss the journal and extract fresh.
+	other := &trace.Trace{
+		Model:   dnn.Model{Name: "other"},
+		Samples: make([]cupti.Sample, 2),
+	}
+	var buf bytes.Buffer
+	if _, err := other.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := postExtract(t, ts.Client(), ts.URL, buf.Bytes()); resp.StatusCode != http.StatusOK ||
+		decodeExtract(t, body).Replayed {
+		t.Fatalf("distinct upload mishandled: status %d", resp.StatusCode)
+	}
+	if extracts.Load() != 2 {
+		t.Fatalf("extractions = %d, want 2", extracts.Load())
+	}
+
+	// A fresh process over the same journal (the post-SIGKILL restart; Open
+	// already truncated any torn tail) replays without ever warming models.
+	var extracts2 atomic.Int64
+	s2 := journaledServer(t, path, &extracts2)
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	resp, body = postExtract(t, ts2.Client(), ts2.URL, upload)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-restart upload: status %d (body %q)", resp.StatusCode, body)
+	}
+	restarted := decodeExtract(t, body)
+	if !restarted.Replayed || restarted.Traces[0].Fingerprint != first.Traces[0].Fingerprint {
+		t.Fatalf("warm restart diverged: %+v", restarted)
+	}
+	if extracts2.Load() != 0 {
+		t.Fatalf("warm restart re-extracted %d times", extracts2.Load())
+	}
+}
+
+// TestResultJournalScopedToScale: the same trace bytes under a different
+// scale key must not replay — the stored answer was computed with another
+// model set.
+func TestResultJournalScopedToScale(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.journal")
+	var extracts atomic.Int64
+	s := journaledServer(t, path, &extracts)
+	ts := httptest.NewServer(s.Handler())
+	upload := stubUpload(t)
+	postExtract(t, ts.Client(), ts.URL, upload)
+	ts.Close()
+
+	j, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	otherScale := eval.Tiny()
+	otherScale.Seed++
+	s2 := New(Config{Scale: otherScale, Cache: stubCache(), Journal: j})
+	var extracts2 atomic.Int64
+	s2.extract = func(ctx context.Context, m *attack.Models, tr *trace.Trace) (*attack.Recovery, error) {
+		extracts2.Add(1)
+		return &attack.Recovery{}, nil
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if _, body := postExtract(t, ts2.Client(), ts2.URL, upload); decodeExtract(t, body).Replayed {
+		t.Fatal("foreign scale's record replayed")
+	}
+	if extracts2.Load() != 1 {
+		t.Fatalf("extractions = %d, want 1", extracts2.Load())
+	}
+}
+
+// TestModelCacheLRUEviction: with an entry cap, populating past it evicts the
+// least-recently-used set from memory and disk; a fresh Get on the victim
+// retrains.
+func TestModelCacheLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	trains := map[string]int{}
+	c := NewModelCache(dir)
+	c.train = func(ctx context.Context, sc eval.Scale) (*attack.Models, error) {
+		trains[CacheKey(sc)]++
+		return &attack.Models{Cfg: attack.FastConfig()}, nil
+	}
+	c.SetLimits(2, 0)
+
+	scale := func(seed int64) eval.Scale {
+		sc := eval.Tiny()
+		sc.Seed = seed
+		return sc
+	}
+	ctx := context.Background()
+	for _, seed := range []int64{1, 2} {
+		if _, err := c.Get(ctx, scale(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Freshen seed 1 so seed 2 is the LRU victim when seed 3 populates.
+	if _, err := c.Get(ctx, scale(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(ctx, scale(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "models-"+CacheKey(scale(2))+".mosmdl")); !os.IsNotExist(err) {
+		t.Fatalf("evicted entry's disk file survived (err %v)", err)
+	}
+	if _, err := c.Get(ctx, scale(1)); err != nil {
+		t.Fatal(err)
+	}
+	if trains[CacheKey(scale(1))] != 1 {
+		t.Fatalf("survivor retrained: %v", trains)
+	}
+	if _, err := c.Get(ctx, scale(2)); err != nil {
+		t.Fatal(err)
+	}
+	if trains[CacheKey(scale(2))] != 2 {
+		t.Fatalf("evicted entry served without retraining: %v", trains)
+	}
+}
+
+// TestModelCacheByteBudget: a byte cap measures each populated set's
+// serialized size and evicts LRU sets until the total fits — but never the
+// set that just populated, so a lone over-budget set still serves.
+func TestModelCacheByteBudget(t *testing.T) {
+	c := NewModelCache("")
+	c.train = func(ctx context.Context, sc eval.Scale) (*attack.Models, error) {
+		return &attack.Models{Cfg: attack.FastConfig()}, nil
+	}
+	one := &attack.Models{Cfg: attack.FastConfig()}
+	size := modelSetBytes(one)
+	if size <= 0 {
+		t.Fatalf("stub model set measures %d bytes", size)
+	}
+	// Budget for one set but not two.
+	c.SetLimits(0, size+size/2)
+
+	ctx := context.Background()
+	sc1, sc2 := eval.Tiny(), eval.Tiny()
+	sc2.Seed++
+	if _, err := c.Get(ctx, sc1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(ctx, sc2); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want the older set evicted", st)
+	}
+	if st.Bytes > size+size/2 {
+		t.Fatalf("resident bytes %d exceed the %d budget", st.Bytes, size+size/2)
+	}
+}
+
+// TestQuarantineRotationByCount: the quarantine directory keeps at most
+// QuarantineMaxFiles captures; older ones are deleted as new malformed
+// uploads arrive.
+func TestQuarantineRotationByCount(t *testing.T) {
+	qdir := t.TempDir()
+	s := New(Config{
+		Scale: eval.Tiny(), Cache: stubCache(),
+		QuarantineDir: qdir, QuarantineMaxFiles: 2, QuarantineMaxBytes: -1,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	full := stubUpload(t)
+	for i := 0; i < 5; i++ {
+		resp, _ := postExtract(t, ts.Client(), ts.URL, full[:len(full)-3-i])
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("truncated upload %d: status %d, want 400", i, resp.StatusCode)
+		}
+		// Distinct modtimes order the rotation deterministically.
+		time.Sleep(3 * time.Millisecond)
+	}
+	matches, err := filepath.Glob(filepath.Join(qdir, "upload-*.partial"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("quarantine holds %d captures, want 2: %v", len(matches), matches)
+	}
+	if got := s.Metrics().QuarantineRotated; got != 3 {
+		t.Fatalf("quarantine_rotated = %d, want 3", got)
+	}
+	if got := s.Metrics().Quarantined; got != 5 {
+		t.Fatalf("quarantined = %d, want 5", got)
+	}
+}
+
+// TestQuarantineRotationByBytes: the byte cap bounds the directory's total
+// size regardless of file count.
+func TestQuarantineRotationByBytes(t *testing.T) {
+	qdir := t.TempDir()
+	full := stubUpload(t)
+	capture := int64(len(full) - 4)
+	s := New(Config{
+		Scale: eval.Tiny(), Cache: stubCache(),
+		QuarantineDir: qdir, QuarantineMaxFiles: -1, QuarantineMaxBytes: 2 * capture,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 4; i++ {
+		if resp, _ := postExtract(t, ts.Client(), ts.URL, full[:capture]); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("truncated upload %d not rejected", i)
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	matches, err := filepath.Glob(filepath.Join(qdir, "upload-*.partial"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, p := range matches {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	if total > 2*capture {
+		t.Fatalf("quarantine holds %d bytes across %d files, cap is %d", total, len(matches), 2*capture)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("quarantine holds %d captures, want 2", len(matches))
+	}
+}

@@ -1,0 +1,90 @@
+package tfsim
+
+import (
+	"testing"
+
+	"leakydnn/internal/gpu"
+	"leakydnn/internal/zoo"
+)
+
+// drain hands out n kernels from the source, failing if it runs dry.
+func drain(t *testing.T, src gpu.Source, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, _, ok := src.Next(0); !ok {
+			t.Fatalf("source dry after %d kernels", i)
+		}
+	}
+}
+
+// TestSessionSourceRewind pins the Rewindable contract on the session source:
+// Position tracks the next kernel to hand out, RewindTo discards exactly the
+// handed-out work past the target iteration's first op, forward rewinds are
+// refused, and a rewound source replays the full remainder.
+func TestSessionSourceRewind(t *testing.T) {
+	dev := testDevice()
+	const iters = 3
+	sess, err := NewSession(zoo.TinyMLP(), Config{Iterations: iters, IterGap: gpu.Millisecond}, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := sess.OpsPerIteration()
+	src := sess.Source()
+	rw, ok := src.(Rewindable)
+	if !ok {
+		t.Fatal("session source does not implement Rewindable")
+	}
+
+	if iter, op := rw.Position(); iter != 0 || op != 0 {
+		t.Fatalf("fresh source at (%d, %d), want (0, 0)", iter, op)
+	}
+	// Hand out one full iteration plus two ops of the next.
+	drain(t, src, ops+2)
+	if iter, op := rw.Position(); iter != 1 || op != 2 {
+		t.Fatalf("position (%d, %d) after %d kernels, want (1, 2)", iter, op, ops+2)
+	}
+
+	// Rewinding forward is refused and moves nothing.
+	if got := rw.RewindTo(2); got != 0 {
+		t.Fatalf("forward rewind discarded %d kernels, want 0", got)
+	}
+	if iter, op := rw.Position(); iter != 1 || op != 2 {
+		t.Fatalf("forward rewind moved the source to (%d, %d)", iter, op)
+	}
+
+	// Rewinding to the interrupted iteration discards its handed-out prefix.
+	if got := rw.RewindTo(1); got != 2 {
+		t.Fatalf("rewind to iteration 1 discarded %d kernels, want 2", got)
+	}
+	if iter, op := rw.Position(); iter != 1 || op != 0 {
+		t.Fatalf("rewound source at (%d, %d), want (1, 0)", iter, op)
+	}
+
+	// Rewinding to the current position (nothing handed out since) is a no-op.
+	if got := rw.RewindTo(1); got != 0 {
+		t.Fatalf("no-op rewind discarded %d kernels", got)
+	}
+
+	// Rewinding across an iteration boundary counts the whole span.
+	drain(t, src, ops+1)
+	if got := rw.RewindTo(1); got != ops+1 {
+		t.Fatalf("cross-iteration rewind discarded %d kernels, want %d", got, ops+1)
+	}
+
+	// The rewound source replays the remainder in full: two iterations' worth
+	// of kernels remain, then it runs dry.
+	drain(t, src, 2*ops)
+	if _, _, ok := src.Next(0); ok {
+		t.Fatal("source handed out kernels past its iteration budget")
+	}
+
+	// A drained source refuses to hand out more even after a negative-target
+	// rewind clamps to iteration 0.
+	if got := rw.RewindTo(-1); got != iters*ops {
+		t.Fatalf("rewind to start discarded %d kernels, want %d", got, iters*ops)
+	}
+	drain(t, src, iters*ops)
+	if _, _, ok := src.Next(0); ok {
+		t.Fatal("fully replayed source still live")
+	}
+}

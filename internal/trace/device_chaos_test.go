@@ -1,0 +1,287 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+
+	"leakydnn/internal/chaos"
+	"leakydnn/internal/dnn"
+	"leakydnn/internal/zoo"
+)
+
+// collectTwice runs the same configuration twice and fails unless the two
+// collections are byte-identical — every fault class below must stay a pure
+// function of (seed, plan).
+func collectTwice(t *testing.T, m dnn.Model, cfg RunConfig) *Trace {
+	t.Helper()
+	a, err := Collect(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("rerun changed the sample count: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("rerun changed sample %d", i)
+		}
+	}
+	if a.Health.Summary() != b.Health.Summary() {
+		t.Fatalf("rerun changed Health:\n first  %s\n second %s", a.Health.Summary(), b.Health.Summary())
+	}
+	return a
+}
+
+// TestVictimResetRecovery injects a driver reset of the victim's context
+// mid-run: the training loop must replay the interrupted iteration from its
+// first op, finish every iteration, account the replayed ops — and the whole
+// recovery must be deterministic.
+func TestVictimResetRecovery(t *testing.T) {
+	m := zoo.TinyTestedModels()[0]
+	cfg := fastRun(3, 4, true)
+	cfg.Chaos.Sched = chaos.SchedPlan{VictimResets: 1}
+	tr := collectTwice(t, m, cfg)
+	h := tr.Health
+	if h.Sched.VictimResets != 1 {
+		t.Fatalf("applied %d victim resets, want 1: %s", h.Sched.VictimResets, h.Summary())
+	}
+	if h.Clean() {
+		t.Fatal("victim-reset run reported clean")
+	}
+	// The victim recovered: every iteration committed despite the reset.
+	if got := tr.Timeline.Iterations(); got != cfg.Session.Iterations {
+		t.Fatalf("victim committed %d iterations, want %d", got, cfg.Session.Iterations)
+	}
+	if h.Sched.VictimOpsReplayed == 0 {
+		t.Fatalf("reset at seed %d replayed no ops; pick a seed that lands mid-iteration", cfg.Seed)
+	}
+	// Replay is bounded by one iteration's op count: only the uncommitted
+	// step is re-run, never completed ones.
+	opsPerIter := len(tr.Ops)
+	if h.Sched.VictimOpsReplayed >= opsPerIter {
+		t.Fatalf("replayed %d ops, more than one iteration (%d ops)", h.Sched.VictimOpsReplayed, opsPerIter)
+	}
+	schedIdentities(t, tr, cfg.Chaos.Sched, 0)
+}
+
+// TestVictimResetChangesTrace: the reset and replay must actually show up in
+// the spy's view (the replayed iteration stretches the victim's wall time).
+func TestVictimResetChangesTrace(t *testing.T) {
+	m := zoo.TinyTestedModels()[0]
+	clean, err := Collect(m, fastRun(3, 4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastRun(3, 4, true)
+	cfg.Chaos.Sched = chaos.SchedPlan{VictimResets: 1}
+	reset, err := Collect(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reset.VictimWall <= clean.VictimWall {
+		t.Fatalf("victim wall did not stretch: clean %v, reset %v", clean.VictimWall, reset.VictimWall)
+	}
+}
+
+// TestOpStallDeterminism: op-granular host stalls inside iterations must be
+// injected, accounted, and byte-reproducible. Stall draws ride the injector's
+// own RNG stream, so the same plan always stalls the same ops by the same
+// amounts.
+func TestOpStallDeterminism(t *testing.T) {
+	m := zoo.TinyTestedModels()[0]
+	cfg := fastRun(23, 4, true)
+	cfg.Chaos.Sched = chaos.SchedPlan{OpStallRate: 0.5, OpStallFrac: 0.5}
+	tr := collectTwice(t, m, cfg)
+	h := tr.Health
+	if h.Sched.OpStallsInjected == 0 {
+		t.Fatalf("no op stalls injected at rate %v", cfg.Chaos.Sched.OpStallRate)
+	}
+	if h.Sched.OpStallTime == 0 {
+		t.Fatal("op stalls injected but zero stall time accounted")
+	}
+	if got := tr.Timeline.Iterations(); got != cfg.Session.Iterations {
+		t.Fatalf("victim committed %d iterations under op stalls, want %d", got, cfg.Session.Iterations)
+	}
+	schedIdentities(t, tr, cfg.Chaos.Sched, 0)
+
+	// Zero-rate plans must consume no draws: adding a disabled op-stall knob
+	// to an otherwise identical plan leaves the collection byte-identical.
+	base := fastRun(23, 4, true)
+	base.Chaos.Sched = chaos.SchedPlan{Resets: 1}
+	withZero := fastRun(23, 4, true)
+	withZero.Chaos.Sched = chaos.SchedPlan{Resets: 1, OpStallRate: 0, OpStallFrac: 0.5}
+	a, err := Collect(m, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(m, withZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("zero-rate op stalls perturbed the run: %d vs %d samples", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("zero-rate op stalls perturbed sample %d", i)
+		}
+	}
+}
+
+// TestDeviceCrashReturnsTypedError: an injected whole-device crash aborts the
+// collection with a *chaos.DeviceCrashError carrying the crash time — the
+// typed error the fleet supervisor matches to schedule a retry.
+func TestDeviceCrashReturnsTypedError(t *testing.T) {
+	cfg := fastRun(5, 4, true)
+	cfg.Chaos.Device = chaos.DeviceFaults{CrashFrac: 0.5}
+	_, err := Collect(zoo.TinyTestedModels()[0], cfg)
+	if err == nil {
+		t.Fatal("crashed collection returned no error")
+	}
+	var crash *chaos.DeviceCrashError
+	if !errors.As(err, &crash) {
+		t.Fatalf("crash surfaced as %T (%v), want *chaos.DeviceCrashError", err, err)
+	}
+	if crash.At <= 0 {
+		t.Fatalf("crash carries no time: %+v", crash)
+	}
+}
+
+// TestSpyKillCutsSampleTail: killing the spy process mid-run loses every
+// window past the kill, while the victim trains to completion — and the
+// degraded trace stays deterministic.
+func TestSpyKillCutsSampleTail(t *testing.T) {
+	m := zoo.TinyTestedModels()[0]
+	cfg := fastRun(5, 4, true)
+	cfg.Chaos.Device = chaos.DeviceFaults{SpyKillFrac: 0.4}
+	tr := collectTwice(t, m, cfg)
+	d := tr.Health.Device
+	if d.SpyKilledAt == 0 {
+		t.Fatal("spy kill not recorded")
+	}
+	if d.SamplesLostToSpyKill == 0 {
+		t.Fatal("spy killed at 40% of the run but no windows lost")
+	}
+	for i, s := range tr.Samples {
+		if s.End > d.SpyKilledAt {
+			t.Fatalf("sample %d ends at %v, past the kill at %v", i, s.End, d.SpyKilledAt)
+		}
+	}
+	if got := tr.Timeline.Iterations(); got != cfg.Session.Iterations {
+		t.Fatalf("victim committed %d iterations after spy kill, want %d", got, cfg.Session.Iterations)
+	}
+	if tr.Health.Clean() {
+		t.Fatal("spy-killed run reported clean")
+	}
+}
+
+// TestArmLossCutsSampleTail: invalidating the CUPTI arming session loses the
+// window tail exactly like a spy kill, but attributed to the arming loss.
+func TestArmLossCutsSampleTail(t *testing.T) {
+	cfg := fastRun(5, 4, true)
+	cfg.Chaos.Device = chaos.DeviceFaults{ArmLossFrac: 0.4}
+	tr := collectTwice(t, zoo.TinyTestedModels()[0], cfg)
+	d := tr.Health.Device
+	if d.ArmSessionLostAt == 0 {
+		t.Fatal("arming-session loss not recorded")
+	}
+	if d.SamplesLostToArmLoss == 0 {
+		t.Fatal("arming session lost at 40% of the run but no windows lost")
+	}
+	if d.SamplesLostToSpyKill != 0 {
+		t.Fatalf("arm loss misattributed %d windows to a spy kill", d.SamplesLostToSpyKill)
+	}
+	for i, s := range tr.Samples {
+		if s.End > d.ArmSessionLostAt {
+			t.Fatalf("sample %d ends at %v, past the loss at %v", i, s.End, d.ArmSessionLostAt)
+		}
+	}
+}
+
+// TestEarlierDeviceCutoffWinsAttribution: when both the arming session and
+// the spy process die, the earlier event owns the lost tail — each window is
+// lost exactly once.
+func TestEarlierDeviceCutoffWinsAttribution(t *testing.T) {
+	cfg := fastRun(5, 4, true)
+	cfg.Chaos.Device = chaos.DeviceFaults{SpyKillFrac: 0.7, ArmLossFrac: 0.3}
+	tr, err := Collect(zoo.TinyTestedModels()[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tr.Health.Device
+	if d.SpyKilledAt == 0 || d.ArmSessionLostAt == 0 {
+		t.Fatalf("both faults should have fired: %+v", d)
+	}
+	if d.ArmSessionLostAt >= d.SpyKilledAt {
+		t.Fatalf("arm loss at %v should precede spy kill at %v", d.ArmSessionLostAt, d.SpyKilledAt)
+	}
+	if d.SamplesLostToArmLoss == 0 || d.SamplesLostToSpyKill != 0 {
+		t.Fatalf("earlier cutoff must own the tail: %+v", d)
+	}
+}
+
+// TestFiniteTenantSchedules: a tenant iteration cap drains background
+// tenants after that many iterations instead of training forever, and the
+// run reports how many expired.
+func TestFiniteTenantSchedules(t *testing.T) {
+	m := zoo.TinyTestedModels()[0]
+	cfg := fastRun(9, 4, true)
+	cfg.BackgroundTenants = []dnn.Model{zoo.TinyMLP()}
+	cfg.Chaos.Device = chaos.DeviceFaults{TenantIterations: 1}
+	tr := collectTwice(t, m, cfg)
+	d := tr.Health.Device
+	if d.TenantIterationCap != 1 {
+		t.Fatalf("cap echoed as %d, want 1", d.TenantIterationCap)
+	}
+	if d.TenantsExpired != 1 {
+		t.Fatalf("%d tenants expired, want 1: %+v", d.TenantsExpired, d)
+	}
+	if got := tr.Timeline.Iterations(); got != cfg.Session.Iterations {
+		t.Fatalf("victim committed %d iterations, want %d", got, cfg.Session.Iterations)
+	}
+
+	// The finite schedule must actually free the device: the victim's wall
+	// time with a drained tenant is below the train-forever co-location's.
+	forever := fastRun(9, 4, true)
+	forever.BackgroundTenants = []dnn.Model{zoo.TinyMLP()}
+	trF, err := Collect(m, forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.VictimWall >= trF.VictimWall {
+		t.Fatalf("capped tenant did not free the device: capped wall %v, forever wall %v",
+			tr.VictimWall, trF.VictimWall)
+	}
+}
+
+// TestZeroDeviceFaultsAreIdentity: a measurement-chaos plan whose Device half
+// is zero must not build device events at all — byte-identical to the same
+// plan without the field mentioned (the zero value injects nothing).
+func TestZeroDeviceFaultsAreIdentity(t *testing.T) {
+	m := zoo.TinyTestedModels()[0]
+	clean, err := Collect(m, fastRun(11, 4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastRun(11, 4, true)
+	cfg.Chaos.Device = chaos.DeviceFaults{}
+	zeroed, err := Collect(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Samples) != len(zeroed.Samples) {
+		t.Fatalf("zero device plan changed the sample count: %d vs %d", len(clean.Samples), len(zeroed.Samples))
+	}
+	for i := range clean.Samples {
+		if clean.Samples[i] != zeroed.Samples[i] {
+			t.Fatalf("zero device plan changed sample %d", i)
+		}
+	}
+	if !zeroed.Health.Clean() {
+		t.Fatalf("zero device plan dirtied Health: %s", zeroed.Health.Summary())
+	}
+}

@@ -33,6 +33,13 @@ type Health struct {
 	// survived driver reset); it mirrors len(Trace.Reanchors).
 	Reanchors int
 
+	// Device is the device-level fault accounting (zero on runs without
+	// DeviceFaults): when the spy process was killed or its arming session
+	// lost, the sample windows that died with it, and finite co-tenant
+	// schedule accounting. A device crash never produces a Health at all —
+	// the collection returns a *chaos.DeviceCrashError instead.
+	Device chaos.DeviceStats
+
 	// SpyChannelsRejected mirrors Trace.SpyChannelsRejected: slow-down
 	// channels refused by a hardened scheduler or lost to arming faults.
 	SpyChannelsRejected int
@@ -103,6 +110,7 @@ func (h *Health) Clean() bool {
 	return h.SamplesEmitted == h.SamplesDelivered &&
 		h.Faults == (chaos.Stats{}) &&
 		h.Sched == (chaos.SchedStats{}) && h.Reanchors == 0 &&
+		h.Device == (chaos.DeviceStats{}) &&
 		h.SpyChannelsRejected == 0 && h.SpyArmRetries == 0 && h.SpyArmFailures == 0 &&
 		h.IterationsQuarantined == 0
 }
@@ -126,6 +134,24 @@ func (h *Health) Summary() string {
 		fmt.Fprintf(&b, "; sched faults: %d/%d resets survived, %d stalls (%v), %d joins + %d leaves, %d samples lost to recovery",
 			s.ResetsSurvived, s.ResetsInjected, s.StallsInjected, s.StallTime,
 			s.TenantsJoined, s.TenantsLeft, s.SamplesLostToRecovery)
+		if s.OpStallsInjected > 0 {
+			fmt.Fprintf(&b, ", %d op stalls (%v)", s.OpStallsInjected, s.OpStallTime)
+		}
+		if s.VictimResets > 0 {
+			fmt.Fprintf(&b, ", %d victim resets (%d ops replayed)", s.VictimResets, s.VictimOpsReplayed)
+		}
+	}
+	if d := h.Device; d != (chaos.DeviceStats{}) {
+		fmt.Fprintf(&b, "; device faults:")
+		if d.SpyKilledAt > 0 {
+			fmt.Fprintf(&b, " spy killed at %v (%d windows lost)", d.SpyKilledAt, d.SamplesLostToSpyKill)
+		}
+		if d.ArmSessionLostAt > 0 {
+			fmt.Fprintf(&b, " arm session lost at %v (%d windows lost)", d.ArmSessionLostAt, d.SamplesLostToArmLoss)
+		}
+		if d.TenantIterationCap > 0 {
+			fmt.Fprintf(&b, " tenants capped at %d iterations (%d expired)", d.TenantIterationCap, d.TenantsExpired)
+		}
 	}
 	fmt.Fprintf(&b, "; spy channels rejected %d", h.SpyChannelsRejected)
 	if h.SpyArmRetries > 0 || h.SpyArmFailures > 0 {

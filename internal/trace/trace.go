@@ -142,6 +142,15 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 	totalOps := sess.OpsPerIteration() * cfg.Session.Iterations
 	victimDone := 0
 	schedSlices := 0
+	// Finite co-tenant schedules: per-context completed-op counts let the end
+	// of the run report how many capped tenants actually drained and left.
+	tenantCap := cfg.Chaos.Device.TenantIterations
+	var tenantOps map[gpu.ContextID]int
+	var tenantTotal map[gpu.ContextID]int
+	if tenantCap > 0 {
+		tenantOps = make(map[gpu.ContextID]int)
+		tenantTotal = make(map[gpu.ContextID]int)
+	}
 	eng.OnSlice = func(r gpu.SliceRecord) {
 		schedSlices++
 		prog.ObserveSlice(r)
@@ -153,20 +162,27 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 		if span.Ctx == VictimCtx {
 			tl.Observe(span)
 			victimDone++
+		} else if tenantOps != nil && span.Ctx != cfg.Spy.Ctx {
+			tenantOps[span.Ctx]++
 		}
 	}
 
 	// Ground-truth channels must never be dropped: a hardened scheduler
 	// rejecting the victim or a tenant would silently produce a trace of a
 	// different co-location than the one requested.
-	victimSrc := gpu.Source(sess.Source())
+	sessSrc := sess.Source()
+	rewinder, _ := sessSrc.(tfsim.Rewindable)
+	victimSrc := gpu.Source(sessSrc)
 	if sched != nil {
-		victimSrc = &stalledSource{
+		ss := &stalledSource{
 			inner:      victimSrc,
+			rewind:     rewinder,
 			opsPerIter: sess.OpsPerIteration(),
 			iterDur:    sess.IterationDuration(),
 			inj:        sched,
 		}
+		victimSrc = ss
+		rewinder = ss
 	}
 	if !eng.AddChannel(VictimCtx, victimSrc) {
 		return nil, fmt.Errorf("trace: scheduler rejected the victim channel (ctx %d, MaxChannelsPerCtx=%d)",
@@ -175,9 +191,16 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 	if err := prog.AttachTimeSliced(eng); err != nil {
 		return nil, err
 	}
+	// A finite-tenant cap replaces the train-forever iteration count; a
+	// capped tenant's source drains after that many iterations and its
+	// channel retires, exactly like a co-located job finishing its run.
+	tenantIters := 1 << 30
+	if tenantCap > 0 {
+		tenantIters = tenantCap
+	}
 	for i, tenant := range cfg.BackgroundTenants {
 		tsess, err := tfsim.NewSession(tenant, tfsim.Config{
-			Iterations: 1 << 30, // trains for the whole run
+			Iterations: tenantIters,
 			IterGap:    cfg.Session.IterGap,
 		}, cfg.Device)
 		if err != nil {
@@ -187,6 +210,9 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 		if !eng.AddChannel(ctx, tsess.Source()) {
 			return nil, fmt.Errorf("trace: scheduler rejected tenant %s channel (ctx %d, MaxChannelsPerCtx=%d)",
 				tenant.Name, ctx, cfg.Device.MaxChannelsPerCtx)
+		}
+		if tenantTotal != nil {
+			tenantTotal[ctx] = tenantIters * tsess.OpsPerIteration()
 		}
 	}
 
@@ -212,18 +238,31 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 		}
 		horizon = 100*per*iters + gpu.Second
 	}
-	// Scheduler faults are drawn once over the estimated clean run length (a
-	// fixed prefix of the injector's RNG stream, so stall draws during the run
-	// cannot move the event times) and applied as the run loop crosses them.
-	var events []chaos.SchedEvent
-	if sched != nil {
-		est := horizon
+	// Fault events are drawn once over the estimated clean run length.
+	// Scheduler events are a fixed prefix of the sched injector's RNG stream
+	// (so stall draws during the run cannot move the event times); device
+	// faults place positionally and consume no RNG at all. Both merge into
+	// one time-ordered list the run loop crosses.
+	est := horizon
+	{
 		per := sess.IterationDuration() + cfg.Session.IterGap
 		iters := gpu.Nanos(cfg.Session.Iterations)
 		if per > 0 && iters > 0 && per <= math.MaxInt64/iters && per*iters < est {
 			est = per * iters
 		}
+	}
+	var events []chaos.SchedEvent
+	if sched != nil {
 		events = sched.Schedule(0, est)
+	}
+	if dev := cfg.Chaos.Device; !dev.IsZero() {
+		events = append(events, dev.Events(0, est)...)
+		sort.SliceStable(events, func(i, j int) bool {
+			if events[i].At != events[j].At {
+				return events[i].At < events[j].At
+			}
+			return events[i].Kind < events[j].Kind
+		})
 	}
 	var (
 		outages   []outage
@@ -231,10 +270,13 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 		nextEvent int
 		joined    int
 		left      int
+		devStats  chaos.DeviceStats
+		spyDead   bool
 		// Churn joiners get fresh contexts past the initial roster so a join
 		// after a leave never aliases a detached context id.
 		joinCtx = SpyCtx + 1 + gpu.ContextID(len(cfg.BackgroundTenants))
 	)
+	devStats.TenantIterationCap = tenantCap
 	applyEvent := func(ev chaos.SchedEvent) error {
 		switch ev.Kind {
 		case chaos.SchedReset:
@@ -243,6 +285,11 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 			// notices the dead sample stream and re-arms through the capped
 			// backoff path; the first relaunch time is the re-anchor marker.
 			sched.NoteReset()
+			if spyDead {
+				// The spy process is already gone; resetting its context is a
+				// no-op and there is no process left to re-arm.
+				return nil
+			}
 			resetAt := eng.Now()
 			eng.DetachContext(cfg.Spy.Ctx)
 			rearmAt, ok := prog.Recover(eng, resetAt)
@@ -255,19 +302,67 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 				// of the run and every later window is recovery loss.
 				outages = append(outages, outage{from: resetAt, to: math.MaxInt64})
 			}
+		case chaos.SchedVictimReset:
+			// Driver reset of the victim's context mid-iteration: in-flight
+			// and queued kernels are lost and no optimizer state was
+			// committed for the interrupted step, so the training loop
+			// replays it from its first op. Completed victim ops arrive in
+			// program order (one serialized channel), so the earliest
+			// uncommitted iteration is exactly victimDone / opsPerIter.
+			sched.NoteVictimReset()
+			if rewinder == nil || victimDone >= totalOps {
+				return nil
+			}
+			opsPerIter := sess.OpsPerIteration()
+			committed := victimDone / opsPerIter
+			rewinder.RewindTo(committed)
+			replayed := victimDone - committed*opsPerIter
+			victimDone = committed * opsPerIter
+			sched.NoteVictimOpsReplayed(replayed)
+			eng.DetachContext(VictimCtx)
+			// The restarted process re-attaches after one host gap (driver
+			// context re-creation + input pipeline rewind), then the replayed
+			// iteration's own IterGap applies as usual.
+			if !eng.AddChannelAt(VictimCtx, victimSrc, eng.Now()+cfg.Session.IterGap) {
+				return fmt.Errorf("trace: scheduler rejected the victim channel on post-reset re-attach (ctx %d)", VictimCtx)
+			}
+		case chaos.SchedDeviceCrash:
+			// Whole-device crash: the host died mid-campaign. Nothing
+			// downstream of this co-run is salvageable; the supervisor
+			// matches the typed error and retries on a fresh seed stream.
+			return &chaos.DeviceCrashError{At: eng.Now()}
+		case chaos.SchedSpyKill:
+			// The spy process is killed (OOM, operator error): its contexts
+			// detach and its CUPTI buffers die with it, but the victim keeps
+			// training. Windows past this point never materialize.
+			if !spyDead {
+				spyDead = true
+				devStats.SpyKilledAt = eng.Now()
+				eng.DetachContext(cfg.Spy.Ctx)
+			}
+		case chaos.SchedArmLoss:
+			// The CUPTI arming session is invalidated: the spy's kernels keep
+			// timesharing the device (the slow-down half still works) but no
+			// counter windows materialize after the loss.
+			if devStats.ArmSessionLostAt == 0 {
+				devStats.ArmSessionLostAt = eng.Now()
+			}
 		case chaos.SchedTenantJoin:
 			tmpl := m
 			if len(cfg.BackgroundTenants) > 0 {
 				tmpl = cfg.BackgroundTenants[joined%len(cfg.BackgroundTenants)]
 			}
 			tsess, terr := tfsim.NewSession(tmpl, tfsim.Config{
-				Iterations: 1 << 30,
+				Iterations: tenantIters,
 				IterGap:    cfg.Session.IterGap,
 			}, cfg.Device)
 			if terr != nil {
 				return fmt.Errorf("trace: churn tenant %s: %w", tmpl.Name, terr)
 			}
 			if eng.AddChannel(joinCtx, tsess.Source()) {
+				if tenantTotal != nil {
+					tenantTotal[joinCtx] = tenantIters * tsess.OpsPerIteration()
+				}
 				joinCtx++
 				joined++
 				sched.NoteTenantJoined()
@@ -323,6 +418,41 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 		SpyArmRetries:       prog.ArmRetries(),
 		SpyArmFailures:      prog.ArmFailures(),
 	}
+	// Device-fault cutoff: windows past a spy kill or arming-session loss
+	// never materialized (the CUPTI buffers died with the process/session).
+	// The earlier cutoff wins attribution when both fired.
+	if devStats.SpyKilledAt > 0 || devStats.ArmSessionLostAt > 0 {
+		cutoff := gpu.Nanos(math.MaxInt64)
+		spyKillWins := false
+		if at := devStats.SpyKilledAt; at > 0 && at < cutoff {
+			cutoff, spyKillWins = at, true
+		}
+		if at := devStats.ArmSessionLostAt; at > 0 && at < cutoff {
+			cutoff, spyKillWins = at, false
+		}
+		kept := samples[:0]
+		lost := 0
+		for _, s := range samples {
+			if s.End > cutoff {
+				lost++
+				continue
+			}
+			kept = append(kept, s)
+		}
+		samples = kept
+		if spyKillWins {
+			devStats.SamplesLostToSpyKill = lost
+		} else {
+			devStats.SamplesLostToArmLoss = lost
+		}
+	}
+	if tenantTotal != nil {
+		for ctx, total := range tenantTotal {
+			if total > 0 && tenantOps[ctx] >= total {
+				devStats.TenantsExpired++
+			}
+		}
+	}
 	if len(outages) > 0 {
 		// Windows overlapping a reset outage carry no signal (the spy had no
 		// context): discard them as recovery loss before measurement faults
@@ -347,6 +477,7 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 		health.Sched = sched.Stats()
 		health.Reanchors = len(reanchors)
 	}
+	health.Device = devStats
 	health.SamplesDelivered = len(samples)
 
 	t := &Trace{
@@ -366,11 +497,14 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 }
 
 // stalledSource wraps the victim's kernel source and defers each iteration's
-// first launch by a seeded host input-pipeline stall. The wrapper counts
-// handed-out kernels itself so it needs nothing from the session beyond its
-// per-iteration shape.
+// first launch by a seeded host input-pipeline stall, and every other launch
+// by a (usually rarer) op-granular host stall. The wrapper counts handed-out
+// kernels itself so it needs nothing from the session beyond its
+// per-iteration shape; both stall classes draw from the injector's one
+// stream in launch order, so a fixed plan stalls the same ops every run.
 type stalledSource struct {
 	inner      gpu.Source
+	rewind     tfsim.Rewindable
 	opsPerIter int
 	iterDur    gpu.Nanos
 	inj        *chaos.SchedInjector
@@ -385,9 +519,31 @@ func (s *stalledSource) Next(now gpu.Nanos) (gpu.KernelProfile, gpu.Nanos, bool)
 	}
 	if s.opsPerIter > 0 && s.handed%s.opsPerIter == 0 {
 		notBefore += s.inj.StallBefore(s.iterDur)
+	} else if s.opsPerIter > 0 {
+		notBefore += s.inj.OpStallBefore(s.iterDur / gpu.Nanos(s.opsPerIter))
 	}
 	s.handed++
 	return k, notBefore, ok
+}
+
+// Position implements tfsim.Rewindable by forwarding to the session source.
+func (s *stalledSource) Position() (int, int) {
+	if s.rewind == nil {
+		return 0, 0
+	}
+	return s.rewind.Position()
+}
+
+// RewindTo implements tfsim.Rewindable: the session source rewinds, and the
+// handed count shrinks by the discarded kernels so the replayed iteration's
+// first op is again recognized as an iteration boundary for stall draws.
+func (s *stalledSource) RewindTo(iter int) int {
+	if s.rewind == nil {
+		return 0
+	}
+	discarded := s.rewind.RewindTo(iter)
+	s.handed -= discarded
+	return discarded
 }
 
 // outage is a half-open interval [from, to) during which the spy had no
