@@ -4,9 +4,15 @@
 // slices/sec). CI commits the result (BENCH_N.json) so successive PRs leave a
 // comparable performance trajectory behind.
 //
+// With -sweep it additionally runs the fleet scaling curve in-process — one
+// collect-only fleet per worker count — and appends per-point wall time,
+// throughput, parallel speedup/efficiency and GC deltas to the report, so the
+// CI artifact carries the scaling curve alongside the benchmark lines.
+//
 // Usage:
 //
 //	go test -run=NONE -bench ... -benchmem | go run ./cmd/benchjson -out BENCH_5.json
+//	go run ./cmd/benchjson -sweep -out sweep.json < /dev/null
 package main
 
 import (
@@ -19,6 +25,10 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
+
+	"leakydnn/internal/eval"
+	"leakydnn/internal/fleet"
 )
 
 // Report is the top-level JSON document.
@@ -27,6 +37,79 @@ type Report struct {
 	GOOS       string      `json:"goos"`
 	GOARCH     string      `json:"goarch"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Sweep holds the -sweep scaling curve, absent otherwise.
+	Sweep *Sweep `json:"sweep,omitempty"`
+}
+
+// Sweep is the fleet scaling curve: the same collect-only fleet run once per
+// worker count, with speedup and parallel efficiency relative to the first
+// (serial) point. Per-device traces are byte-identical across the points (the
+// fleet package's invariance tests pin that), so every point does identical
+// simulation work and the curve isolates the coordination overhead.
+type Sweep struct {
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Devices    int          `json:"devices"`
+	Points     []SweepPoint `json:"points"`
+}
+
+// SweepPoint is one worker count's measurement.
+type SweepPoint struct {
+	Workers      int     `json:"workers"`
+	WallNs       float64 `json:"wall_ns"`
+	SlicesPerSec float64 `json:"slices_per_sec"`
+	// Speedup is wall(workers=first point)/wall(this point); Efficiency is
+	// Speedup/Workers — 1.0 means perfectly linear scaling.
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+	// GC deltas across this point's run.
+	GCCycles    uint32 `json:"gc_cycles"`
+	GCPauseNs   uint64 `json:"gc_pause_ns"`
+	AllocBytes  uint64 `json:"alloc_bytes"`
+	HeapObjects uint64 `json:"heap_allocs"`
+}
+
+// runSweep executes the scaling curve: one collect-only fleet per worker
+// count, serially, GC'd between points so each point's GC delta is its own.
+func runSweep(workerCounts []int, devices int) (*Sweep, error) {
+	sw := &Sweep{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), Devices: devices}
+	for _, w := range workerCounts {
+		sc := eval.Tiny()
+		sc.Workers = w
+		cfg := fleet.Config{Base: sc, Devices: devices, CollectOnly: true}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		res, err := fleet.Run(cfg)
+		wall := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("sweep workers=%d: %w", w, err)
+		}
+		runtime.ReadMemStats(&after)
+		p := SweepPoint{
+			Workers:     w,
+			WallNs:      float64(wall.Nanoseconds()),
+			GCCycles:    after.NumGC - before.NumGC,
+			GCPauseNs:   after.PauseTotalNs - before.PauseTotalNs,
+			AllocBytes:  after.TotalAlloc - before.TotalAlloc,
+			HeapObjects: after.Mallocs - before.Mallocs,
+		}
+		if secs := wall.Seconds(); secs > 0 {
+			p.SlicesPerSec = float64(res.TotalSchedSlices) / secs
+		}
+		if len(sw.Points) > 0 && p.WallNs > 0 {
+			p.Speedup = sw.Points[0].WallNs / p.WallNs
+			p.Efficiency = p.Speedup / float64(w)
+		} else {
+			p.Speedup = 1
+			p.Efficiency = 1 / float64(w)
+		}
+		sw.Points = append(sw.Points, p)
+		fmt.Fprintf(os.Stderr, "sweep workers=%d wall=%.2fs slices/sec=%.0f speedup=%.2f efficiency=%.2f gc=%d\n",
+			w, wall.Seconds(), p.SlicesPerSec, p.Speedup, p.Efficiency, p.GCCycles)
+	}
+	return sw, nil
 }
 
 // Benchmark is one parsed result line.
@@ -43,6 +126,10 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	sweep := flag.Bool("sweep", false,
+		"run the fleet scaling curve in-process (one collect-only fleet per -sweep-workers count) and append it to the report")
+	sweepWorkers := flag.String("sweep-workers", "1,2,4,8", "comma-separated worker counts for -sweep")
+	sweepDevices := flag.Int("sweep-devices", 8, "fleet size for -sweep")
 	flag.Parse()
 
 	report := Report{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
@@ -74,7 +161,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
 		os.Exit(1)
 	}
-	if len(report.Benchmarks) == 0 {
+
+	if *sweep {
+		var counts []int
+		for _, f := range strings.Split(*sweepWorkers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -sweep-workers entry %q\n", f)
+				os.Exit(1)
+			}
+			counts = append(counts, n)
+		}
+		sw, err := runSweep(counts, *sweepDevices)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		report.Sweep = sw
+	}
+	if len(report.Benchmarks) == 0 && report.Sweep == nil {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}

@@ -20,6 +20,7 @@ import (
 
 	"leakydnn/internal/eval"
 	"leakydnn/internal/journal"
+	"leakydnn/internal/profiling"
 	"leakydnn/internal/serve"
 )
 
@@ -57,8 +58,10 @@ func run() error {
 			"maximum total quarantined bytes kept; oldest rotate out (0 = 64 MiB, negative = unlimited)")
 		journalPath = flag.String("journal", "",
 			"result journal: record every served extraction so a restarted daemon (including after SIGKILL) replays known uploads instead of re-extracting")
-		maxChunk = flag.Int64("max-chunk", 0, "per-chunk wire guard in bytes handed to the trace reader (0 = default)")
-		warm     = flag.Bool("warm", true, "train/load the model set before accepting traffic")
+		maxChunk  = flag.Int64("max-chunk", 0, "per-chunk wire guard in bytes handed to the trace reader (0 = default)")
+		warm      = flag.Bool("warm", true, "train/load the model set before accepting traffic")
+		pprofAddr = flag.String("pprof", "",
+			"opt-in diagnostics: serve /debug/pprof on this TCP address (own listener, never the service mux); empty disables")
 	)
 	flag.Parse()
 
@@ -111,7 +114,13 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "mosconsd: models ready in %.1fs\n", time.Since(warmStart).Seconds())
 	}
 
-	serveErr := make(chan error, 2)
+	serveErr := make(chan error, 3)
+	if *pprofAddr != "" {
+		if err := profiling.ServeHTTP(*pprofAddr, serveErr); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mosconsd: pprof diagnostics on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 	var listeners []net.Listener
 	listen := func(network, addr string) error {
 		l, err := net.Listen(network, addr)

@@ -16,6 +16,7 @@ import (
 	"leakydnn/internal/eval"
 	"leakydnn/internal/fleet"
 	"leakydnn/internal/lstm"
+	"leakydnn/internal/profiling"
 )
 
 var experiments = []string{
@@ -48,8 +49,21 @@ func run() error {
 			"fleet experiment: largest device count (the grid reports prefixes of one run)")
 		fleetBudget = flag.Int("fleet-budget", 0,
 			"fleet experiment: total slow-down channels shared across devices (0 = unlimited)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", perr)
+		}
+	}()
 
 	sc, err := scaleByName(*scaleName)
 	if err != nil {

@@ -105,6 +105,16 @@ func (w *WindowSampler) Finish(at gpu.Nanos) []Sample {
 // Samples returns the windows emitted so far.
 func (w *WindowSampler) Samples() []Sample { return w.samples }
 
+// Presize reserves capacity for n samples up front. A capacity hint only:
+// emitted samples are unaffected.
+func (w *WindowSampler) Presize(n int) {
+	if n > cap(w.samples)-len(w.samples) {
+		grown := make([]Sample, len(w.samples), len(w.samples)+n)
+		copy(grown, w.samples)
+		w.samples = grown
+	}
+}
+
 func (w *WindowSampler) flushWindow() {
 	w.samples = append(w.samples, w.current)
 	w.start += w.period

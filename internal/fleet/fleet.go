@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"leakydnn/internal/attack"
@@ -108,6 +109,16 @@ type Config struct {
 	// victim co-run. This is the benchmark mode — the engine's aggregate
 	// slice throughput without the attack pipeline on top.
 	CollectOnly bool
+	// PerDeviceModels restores the pre-sharing behaviour: every device
+	// collects its own profiled traces and trains its own model set from its
+	// own seed stream, making each device's extraction a pure function of its
+	// spec alone (the old goldens). The default (false) dedups training by
+	// device group — each (class, tenancy-mix, scale) group trains once, from
+	// its lowest-index member's spec, and the other members reference the
+	// shared set; with training the dominant cost this is a near-N× fleet
+	// wall-clock win at the price of the widened dependency recorded in
+	// DeviceResult.ModelRep.
+	PerDeviceModels bool
 
 	// FleetChaos assigns device-level faults (whole-device crash, spy kill,
 	// arming-session loss, finite co-tenant schedules) across the campaign;
@@ -234,6 +245,12 @@ type DeviceResult struct {
 	// ExtractErr records a per-device extraction failure (a damaged trace
 	// is a result, not a fleet abort).
 	ExtractErr string
+	// ModelRep is the provenance of the model set this device's extraction
+	// used: the index of the device whose spec the set was trained from. A
+	// device that trained its own set (per-device mode, or the group
+	// representative under class sharing) reports its own index; -1 means no
+	// model set was involved (collect-only, or quarantined before training).
+	ModelRep int
 	// Attempts is how many attempts this device ran (1 = clean first try).
 	Attempts int
 	// Quarantined marks a device that exhausted every retry; FailCause
@@ -256,6 +273,12 @@ type Result struct {
 	Quarantined      int
 	QuarantineCauses map[string]int
 	Replayed         int
+	// ModelSetsTrained counts devices that trained their own model set;
+	// ModelSetsReferenced counts devices that reused another device's shared
+	// set. Their ratio is the class-sharing dedup factor (referenced is zero
+	// in per-device mode and collect-only runs).
+	ModelSetsTrained    int
+	ModelSetsReferenced int
 }
 
 // Run plans and executes the fleet.
@@ -286,10 +309,19 @@ func RunSpecs(cfg Config, specs []DeviceSpec) (*Result, error) {
 	if cfg.Retries < 0 {
 		return nil, fmt.Errorf("fleet: Retries must be >= 0, got %d", cfg.Retries)
 	}
+	// The training-dedup layer and the per-worker collection arenas are both
+	// campaign-scoped: groups are keyed off the planned specs (before any
+	// per-attempt fault splicing), and every collection in the campaign
+	// borrows scratch from one shared arena pool.
+	var share *modelShare
+	if !cfg.CollectOnly && !cfg.PerDeviceModels {
+		share = newModelShare(specs)
+	}
+	arenas := trace.NewArenaPool()
 	var replayed map[int]DeviceResult
 	if cfg.Journal != nil {
 		var err error
-		replayed, err = replayJournal(cfg, specs)
+		replayed, err = replayJournal(cfg, specs, share)
 		if err != nil {
 			return nil, err
 		}
@@ -299,9 +331,9 @@ func RunSpecs(cfg Config, specs []DeviceSpec) (*Result, error) {
 		if r, ok := replayed[i]; ok {
 			return r, nil
 		}
-		r := superviseDevice(cfg, specs[i], pool)
+		r := superviseDevice(cfg, specs[i], pool, arenas, share)
 		if cfg.Journal != nil {
-			if err := appendDeviceRecord(cfg.Journal, deviceKey(cfg, specs[i]), r); err != nil {
+			if err := appendDeviceRecord(cfg.Journal, deviceKey(cfg, specs[i], share), r); err != nil {
 				return DeviceResult{}, err
 			}
 		}
@@ -321,6 +353,13 @@ func RunSpecs(cfg Config, specs []DeviceSpec) (*Result, error) {
 		if d.Quarantined {
 			res.Quarantined++
 			res.QuarantineCauses[d.FailCause]++
+		}
+		if d.ModelRep >= 0 {
+			if d.ModelRep == d.Spec.Index {
+				res.ModelSetsTrained++
+			} else {
+				res.ModelSetsReferenced++
+			}
 		}
 	}
 	return res, nil
@@ -343,7 +382,7 @@ var errWatchdog = errors.New("fleet: device attempt exceeded watchdog deadline")
 // FleetPlan per (device, attempt), so the same attempt always faults — or
 // doesn't — identically. A device that exhausts every attempt is returned
 // quarantined with its last cause; it is a result, not an error.
-func superviseDevice(cfg Config, spec DeviceSpec, pool *par.Pool) DeviceResult {
+func superviseDevice(cfg Config, spec DeviceSpec, pool *par.Pool, arenas *trace.ArenaPool, share *modelShare) DeviceResult {
 	maxAttempts := cfg.Retries + 1
 	var lastCause, lastErr string
 	for attempt := 0; attempt < maxAttempts; attempt++ {
@@ -360,7 +399,7 @@ func superviseDevice(cfg Config, spec DeviceSpec, pool *par.Pool) DeviceResult {
 		}
 		aspec.Scale.Chaos.Device = cfg.FleetChaos.FaultsFor(spec.Index, attempt)
 
-		res, err := runAttempt(cfg, aspec, pool)
+		res, err := runAttempt(cfg, aspec, pool, arenas, share)
 		if err == nil {
 			// The result carries the attempt's spec (retry seed and injected
 			// faults included) so a consumer can see what actually ran, but
@@ -385,6 +424,7 @@ func superviseDevice(cfg Config, spec DeviceSpec, pool *par.Pool) DeviceResult {
 		Quarantined: true,
 		FailCause:   lastCause,
 		ExtractErr:  lastErr,
+		ModelRep:    -1,
 	}
 }
 
@@ -392,9 +432,9 @@ func superviseDevice(cfg Config, spec DeviceSpec, pool *par.Pool) DeviceResult {
 // abandoned attempt keeps running on the pool until its horizon — its result
 // is discarded — which mirrors a real watchdog: the stuck process is given up
 // on, not surgically cancelled.
-func runAttempt(cfg Config, spec DeviceSpec, pool *par.Pool) (DeviceResult, error) {
+func runAttempt(cfg Config, spec DeviceSpec, pool *par.Pool, arenas *trace.ArenaPool, share *modelShare) (DeviceResult, error) {
 	if cfg.Watchdog <= 0 {
-		return runDevice(spec, pool, cfg.CollectOnly)
+		return runDevice(spec, pool, cfg.CollectOnly, arenas, share)
 	}
 	type outcome struct {
 		res DeviceResult
@@ -402,7 +442,7 @@ func runAttempt(cfg Config, spec DeviceSpec, pool *par.Pool) (DeviceResult, erro
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		r, e := runDevice(spec, pool, cfg.CollectOnly)
+		r, e := runDevice(spec, pool, cfg.CollectOnly, arenas, share)
 		ch <- outcome{r, e}
 	}()
 	timer := time.NewTimer(cfg.Watchdog)
@@ -416,11 +456,13 @@ func runAttempt(cfg Config, spec DeviceSpec, pool *par.Pool) (DeviceResult, erro
 }
 
 // runDevice executes one device end to end: victim co-run under the device's
-// class, mix and spy allocation, then (unless collectOnly) a per-victim
-// model set trained on traces profiled on the same device class.
-func runDevice(spec DeviceSpec, pool *par.Pool, collectOnly bool) (DeviceResult, error) {
+// class, mix and spy allocation, then (unless collectOnly) extraction with a
+// model set trained on traces profiled on the same device class — the
+// device's own set in per-device mode, its group's shared set otherwise.
+func runDevice(spec DeviceSpec, pool *par.Pool, collectOnly bool, arenas *trace.ArenaPool, share *modelShare) (DeviceResult, error) {
 	sc := spec.Scale
 	rcfg := sc.RunConfig(sc.StreamSeed(eval.StreamTested, 0), spec.Slowdown != 0)
+	rcfg.Arenas = arenas
 	if spec.Slowdown > 0 {
 		rcfg.Spy.SlowdownChannels = spec.Slowdown
 	}
@@ -441,6 +483,7 @@ func runDevice(spec DeviceSpec, pool *par.Pool, collectOnly bool) (DeviceResult,
 		Health:      tr.Health,
 		SchedSlices: tr.SchedSlices,
 		TraceHash:   hashTrace(tr),
+		ModelRep:    -1,
 	}
 	if sc.Iterations > 0 {
 		res.SamplesPerIter = float64(len(tr.Samples)) / float64(sc.Iterations)
@@ -449,19 +492,17 @@ func runDevice(spec DeviceSpec, pool *par.Pool, collectOnly bool) (DeviceResult,
 		return res, nil
 	}
 
-	profiled, err := par.MapOn(pool, len(sc.Profiled), func(i int) (*trace.Trace, error) {
-		ptr, perr := trace.Collect(sc.Profiled[i], sc.RunConfig(sc.StreamSeed(eval.StreamProfiled, i), true))
-		if perr != nil {
-			return nil, fmt.Errorf("fleet: %s: profile %s: %w", spec.Name, sc.Profiled[i].Name, perr)
+	var models *attack.Models
+	if share != nil {
+		models, res.ModelRep, err = share.modelsFor(spec, pool, arenas)
+		if err != nil {
+			return DeviceResult{}, err
 		}
-		return ptr, nil
-	})
-	if err != nil {
-		return DeviceResult{}, err
-	}
-	models, err := attack.TrainModels(profiled, sc.AttackConfig().WithPool(pool))
-	if err != nil {
-		return DeviceResult{}, fmt.Errorf("fleet: %s: train: %w", spec.Name, err)
+	} else {
+		if models, err = trainModelSet(spec, pool, arenas); err != nil {
+			return DeviceResult{}, err
+		}
+		res.ModelRep = spec.Index
 	}
 	rec, err := models.ExtractTrace(tr)
 	if err != nil {
@@ -478,21 +519,40 @@ func runDevice(spec DeviceSpec, pool *par.Pool, collectOnly bool) (DeviceResult,
 }
 
 // hashTrace pins the measurement path: the same field enumeration as the
-// eval package's golden-trace hash, plus the scheduler grant count.
+// eval package's golden-trace hash, plus the scheduler grant count. The
+// little-endian framing matches what encoding/binary.Write would produce, but
+// staged through one reused buffer: the reflective per-field Write calls were
+// the fleet hot path's dominant allocation source (tens of thousands of
+// 8-byte buffers per fleet op).
 func hashTrace(tr *trace.Trace) string {
 	h := sha256.New()
-	binary.Write(h, binary.LittleEndian, int64(len(tr.Samples)))
+	buf := make([]byte, 0, 1024)
+	flush := func() {
+		h.Write(buf)
+		buf = buf[:0]
+	}
+	putInt := func(v int64) {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+	}
+	putFloat := func(v float64) {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	putInt(int64(len(tr.Samples)))
 	for _, s := range tr.Samples {
-		binary.Write(h, binary.LittleEndian, int64(s.Start))
-		binary.Write(h, binary.LittleEndian, int64(s.End))
+		if len(buf) > 768 {
+			flush()
+		}
+		putInt(int64(s.Start))
+		putInt(int64(s.End))
 		for _, v := range s.Values {
-			binary.Write(h, binary.LittleEndian, v)
+			putFloat(v)
 		}
 	}
-	binary.Write(h, binary.LittleEndian, int64(tr.VictimWall))
-	binary.Write(h, binary.LittleEndian, int64(tr.SpyProbeLaunches))
-	binary.Write(h, binary.LittleEndian, int64(tr.SpyChannelsRejected))
-	binary.Write(h, binary.LittleEndian, int64(tr.SchedSlices))
+	putInt(int64(tr.VictimWall))
+	putInt(int64(tr.SpyProbeLaunches))
+	putInt(int64(tr.SpyChannelsRejected))
+	putInt(int64(tr.SchedSlices))
+	flush()
 	return fmt.Sprintf("%x", h.Sum(nil))
 }
 

@@ -1,10 +1,12 @@
 package fleet
 
 import (
+	"strings"
 	"testing"
 
 	"leakydnn/internal/chaos"
 	"leakydnn/internal/eval"
+	"leakydnn/internal/gpu"
 )
 
 // goldenDev0TraceSHA256 pins device 0's collect-only trace at tiny scale
@@ -204,6 +206,141 @@ func TestFleetFullPipelineSmall(t *testing.T) {
 		if d.LetterAcc <= 0 {
 			t.Errorf("device %d letter accuracy %.3f, want > 0", i, d.LetterAcc)
 		}
+	}
+}
+
+// oneGroupFleet is an extraction fleet whose devices all land in a single
+// model group (one class, one mix), so class-sharing dedups N trainings to 1.
+// The default classes/mixes would give every small-fleet device its own group.
+func oneGroupFleet(devices, workers int) Config {
+	cfg := tinyFleet(devices, workers)
+	cfg.CollectOnly = false
+	cfg.Classes = []DeviceClass{{Name: "stock", Apply: func(d gpu.DeviceConfig) gpu.DeviceConfig { return d }}}
+	cfg.Mixes = []TenancyMix{{Name: "solo", Tenants: 0}}
+	return cfg
+}
+
+// Class-sharing must train one model set per group and report the provenance:
+// device 0 trains, everyone else references device 0's set.
+func TestFleetSharedModelDedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model set")
+	}
+	res, err := Run(oneGroupFleet(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModelSetsTrained != 1 || res.ModelSetsReferenced != 2 {
+		t.Errorf("model sets trained/referenced = %d/%d, want 1/2",
+			res.ModelSetsTrained, res.ModelSetsReferenced)
+	}
+	for i, d := range res.Devices {
+		if d.ModelRep != 0 {
+			t.Errorf("device %d ModelRep = %d, want 0 (the group representative)", i, d.ModelRep)
+		}
+		if d.ExtractErr != "" {
+			t.Errorf("device %d extraction failed: %s", i, d.ExtractErr)
+		}
+		if d.ExtractHash == "" || d.Fingerprint == "" {
+			t.Errorf("device %d missing extraction artifacts", i)
+		}
+	}
+	rollup := RenderRollup(res.Devices)
+	if !strings.Contains(rollup, "model sets: 1 trained / 2 shared") {
+		t.Errorf("rollup does not report model-set reuse:\n%s", rollup)
+	}
+	if !strings.Contains(rollup, "models<-dev000") {
+		t.Errorf("rollup does not mark referencing devices:\n%s", rollup)
+	}
+}
+
+// A group representative's extraction is a pure function of its own spec, so
+// it must be byte-identical between sharing modes; per-device mode must train
+// every device's own set and never cross-reference.
+func TestFleetSharedMatchesPerDeviceOnRepresentative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains model sets")
+	}
+	shared, err := Run(oneGroupFleet(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := oneGroupFleet(2, 1)
+	cfg.PerDeviceModels = true
+	perDev, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perDev.ModelSetsTrained != 2 || perDev.ModelSetsReferenced != 0 {
+		t.Errorf("per-device mode trained/referenced = %d/%d, want 2/0",
+			perDev.ModelSetsTrained, perDev.ModelSetsReferenced)
+	}
+	for i, d := range perDev.Devices {
+		if d.ModelRep != d.Spec.Index {
+			t.Errorf("per-device mode: device %d ModelRep = %d, want own index", i, d.ModelRep)
+		}
+	}
+	// Device 0 is its own representative in both modes: identical bytes.
+	s0, p0 := shared.Devices[0], perDev.Devices[0]
+	if s0.TraceHash != p0.TraceHash || s0.ExtractHash != p0.ExtractHash || s0.Fingerprint != p0.Fingerprint {
+		t.Errorf("representative device diverged between sharing modes:\n shared    %s %s\n perdevice %s %s",
+			s0.ExtractHash, s0.Fingerprint, p0.ExtractHash, p0.Fingerprint)
+	}
+	// Device 1 extracted with a different model set; its trace (collection)
+	// must still agree even though its extraction may not.
+	if shared.Devices[1].TraceHash != perDev.Devices[1].TraceHash {
+		t.Error("device 1 collection perturbed by the sharing mode")
+	}
+}
+
+// Shared-mode extractions must be invariant to worker count and fleet size:
+// the representative is elected from the planned prefix, so growing the fleet
+// or changing concurrency never moves any device's bytes.
+func TestFleetSharedWorkerAndSizeInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains model sets")
+	}
+	small, err := Run(oneGroupFleet(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(oneGroupFleet(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range small.Devices {
+		a, b := small.Devices[i], big.Devices[i]
+		if a.TraceHash != b.TraceHash || a.ExtractHash != b.ExtractHash || a.Fingerprint != b.Fingerprint {
+			t.Errorf("device %d changed with fleet size/workers under sharing:\n 2-dev/1w %s %s\n 3-dev/4w %s %s",
+				i, a.ExtractHash, a.Fingerprint, b.ExtractHash, b.Fingerprint)
+		}
+	}
+}
+
+// The journal key must record the model source for extraction campaigns (so
+// per-device and shared records never replay into each other) and must stay
+// byte-stable for collect-only campaigns, which train nothing.
+func TestDeviceKeyModelSource(t *testing.T) {
+	cfg := oneGroupFleet(2, 1)
+	specs, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := newModelShare(specs)
+	if k1, k2 := deviceKey(cfg, specs[1], nil), deviceKey(cfg, specs[1], share); k1 == k2 {
+		t.Error("per-device and shared extraction keys collide")
+	}
+	collectCfg := cfg
+	collectCfg.CollectOnly = true
+	if k1, k2 := deviceKey(collectCfg, specs[1], nil), deviceKey(collectCfg, specs[1], share); k1 != k2 {
+		t.Error("collect-only keys depend on the model-sharing mode")
+	}
+	// Per-attempt fault splicing must not move a spec out of its model group:
+	// a crashing attempt still resolves to the planned group's shared cell.
+	spliced := specs[1]
+	spliced.Scale.Chaos.Device = chaos.DeviceFaults{CrashFrac: 0.5}
+	if share.entryFor(spliced) != share.entryFor(specs[1]) {
+		t.Error("device-fault splicing moved the spec out of its model group")
 	}
 }
 

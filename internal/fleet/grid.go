@@ -119,6 +119,7 @@ func RenderRollup(devices []DeviceResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Per-device rollup (spy allocation, yield, coverage, health)\n")
 	retried, replayed := 0, 0
+	modelsTrained, modelsReferenced := 0, 0
 	quarantined := map[string]int{}
 	for _, d := range devices {
 		alloc := "full"
@@ -153,6 +154,14 @@ func RenderRollup(devices []DeviceResult) string {
 			replayed++
 			fmt.Fprintf(&b, "  [journal]")
 		}
+		switch {
+		case d.ModelRep < 0:
+		case d.ModelRep == d.Spec.Index:
+			modelsTrained++
+		default:
+			modelsReferenced++
+			fmt.Fprintf(&b, "  models<-dev%03d", d.ModelRep)
+		}
 		if d.ExtractErr != "" {
 			fmt.Fprintf(&b, "  EXTRACT FAILED: %s", d.ExtractErr)
 		} else {
@@ -160,8 +169,11 @@ func RenderRollup(devices []DeviceResult) string {
 		}
 		b.WriteString("\n")
 	}
-	if retried+len(quarantined)+replayed > 0 {
+	if retried+len(quarantined)+replayed+modelsTrained+modelsReferenced > 0 {
 		fmt.Fprintf(&b, "Supervisor: %d retried, %d replayed from journal", retried, replayed)
+		if modelsTrained+modelsReferenced > 0 {
+			fmt.Fprintf(&b, ", model sets: %d trained / %d shared", modelsTrained, modelsReferenced)
+		}
 		if len(quarantined) > 0 {
 			causes := make([]string, 0, len(quarantined))
 			for c := range quarantined {

@@ -24,7 +24,14 @@ const recordKind = "fleet-device"
 // structs — because eval.Scale carries unexported pool state and function
 // values whose formatting is nondeterministic. Two runs agree on a key iff
 // re-executing the device would reproduce the recorded result byte for byte.
-func deviceKey(cfg Config, spec DeviceSpec) string {
+//
+// Extraction results additionally depend on where the device's model set came
+// from, so extraction campaigns append a model-source line: "perdevice" when
+// every device trains its own set, or the representative's identity (planned
+// index + derived seed) under class-sharing. Collect-only campaigns never
+// train, so their keys carry no model line and stay byte-compatible with
+// journals written before sharing existed.
+func deviceKey(cfg Config, spec DeviceSpec, share *modelShare) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "campaign|%s|%d|%t|%d|%d|%+v\n",
 		cfg.Base.Name, cfg.Base.Seed, cfg.CollectOnly, cfg.SpyBudget, cfg.Retries, cfg.FleetChaos)
@@ -33,6 +40,13 @@ func deviceKey(cfg Config, spec DeviceSpec) string {
 		spec.Scale.Seed, spec.Scale.Name, spec.Scale.Iterations,
 		int64(spec.Scale.IterGap), int64(spec.Scale.SamplePeriod),
 		spec.Victim.Name, spec.Scale.Chaos)
+	if !cfg.CollectOnly {
+		if share == nil {
+			fmt.Fprintf(h, "models|perdevice\n")
+		} else if e := share.entryFor(spec); e != nil {
+			fmt.Fprintf(h, "models|shared|%d|%d\n", e.rep.Index, e.rep.Scale.Seed)
+		}
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -52,6 +66,11 @@ type deviceRecord struct {
 	Attempts                   int
 	Quarantined                bool
 	FailCause                  string
+	// ModelRep records the model set's provenance (see DeviceResult.ModelRep).
+	// Absent from pre-sharing records, which gob decodes as 0; replay forces
+	// collect-only records back to -1, and extraction keys changed when the
+	// field landed, so a stale 0 can never be replayed into an extraction.
+	ModelRep int
 }
 
 // appendDeviceRecord durably journals one completed (or quarantined) device.
@@ -71,6 +90,7 @@ func appendDeviceRecord(j *journal.Journal, key string, r DeviceResult) error {
 		Attempts:       r.Attempts,
 		Quarantined:    r.Quarantined,
 		FailCause:      r.FailCause,
+		ModelRep:       r.ModelRep,
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
@@ -88,10 +108,10 @@ func appendDeviceRecord(j *journal.Journal, key string, r DeviceResult) error {
 // append-only; a changed plan simply re-executes what no longer matches).
 // A corrupt payload under a matching key is an error — the key promises the
 // producer wrote it, so unreadable bytes mean real damage past the CRC.
-func replayJournal(cfg Config, specs []DeviceSpec) (map[int]DeviceResult, error) {
+func replayJournal(cfg Config, specs []DeviceSpec, share *modelShare) (map[int]DeviceResult, error) {
 	keys := make(map[string]int, len(specs))
 	for i, spec := range specs {
-		keys[deviceKey(cfg, spec)] = i
+		keys[deviceKey(cfg, spec, share)] = i
 	}
 	out := make(map[int]DeviceResult)
 	for _, rec := range cfg.Journal.Records() {
@@ -122,7 +142,15 @@ func replayJournal(cfg Config, specs []DeviceSpec) (map[int]DeviceResult, error)
 			Attempts:       dr.Attempts,
 			Quarantined:    dr.Quarantined,
 			FailCause:      dr.FailCause,
+			ModelRep:       dr.ModelRep,
 			Replayed:       true,
+		}
+		if cfg.CollectOnly {
+			// Pre-sharing collect-only records predate the field; nothing was
+			// trained, so the provenance is "none" regardless of stored bytes.
+			r := out[i]
+			r.ModelRep = -1
+			out[i] = r
 		}
 	}
 	return out, nil

@@ -104,6 +104,10 @@ type Engine struct {
 	// the eager bit-exact sweep.
 	totalResident float64
 
+	// free is the recycled-channel-struct list a scratch-backed engine draws
+	// from on AddChannel (see EngineScratch); empty on fresh engines.
+	free []*channel
+
 	// OnSlice, if set, observes every scheduler grant.
 	OnSlice func(SliceRecord)
 	// OnKernelEnd, if set, observes every kernel completion.
@@ -197,12 +201,11 @@ func (e *Engine) AddChannel(ctx ContextID, src Source) bool {
 	if e.ChannelSlotsFree(ctx) == 0 {
 		return false
 	}
-	ch := &channel{
-		ctx:      ctx,
-		source:   src,
-		l2Epoch:  e.l2Base + len(e.l2Log),
-		texEpoch: e.texBase + len(e.texLog),
-	}
+	ch := e.allocChannel()
+	ch.ctx = ctx
+	ch.source = src
+	ch.l2Epoch = e.l2Base + len(e.l2Log)
+	ch.texEpoch = e.texBase + len(e.texLog)
 	e.channels = append(e.channels, ch)
 	e.live = append(e.live, ch)
 	return true

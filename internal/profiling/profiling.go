@@ -1,0 +1,82 @@
+// Package profiling wires Go's standard pprof tooling into the repo's CLIs
+// with one call per binary: file-based CPU/heap profiles for the batch tools
+// (mosconsim, paperbench) and an opt-in /debug/pprof listener for the daemon.
+// The scaling work in DESIGN.md §11 leans on these profiles; README's
+// "Profiling" section shows the invocations.
+package profiling
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// Start begins a CPU profile to cpuPath (empty skips it) and returns a stop
+// function that ends the CPU profile and, if memPath is non-empty, writes a
+// GC-settled heap profile there. Callers must invoke stop exactly once, after
+// the work under measurement; both paths empty yields a no-op stop.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: close cpu profile: %w", err)
+			}
+		}
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		defer f.Close()
+		// Settle the heap so the profile reports live objects, not the
+		// allocation wavefront of whatever phase happened to run last.
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("profiling: write heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// ServeHTTP exposes /debug/pprof on its own listener, detached from the
+// caller's service mux so the diagnostic surface never shares an address (or
+// an access-control story) with the request path. It returns once the
+// listener is bound; serve errors after that are reported on errc. An empty
+// addr is a no-op.
+func ServeHTTP(addr string, errc chan<- error) error {
+	if addr == "" {
+		return nil
+	}
+	srv := &http.Server{Addr: addr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 5 * time.Second}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("profiling: pprof listener: %w", err)
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			if errc != nil {
+				errc <- fmt.Errorf("profiling: pprof serve: %w", err)
+			}
+		}
+	}()
+	return nil
+}

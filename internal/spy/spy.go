@@ -172,6 +172,11 @@ type Config struct {
 	// accumulated backoff delays the channel's first launch, so arming
 	// trouble is visible in the data as missing early windows.
 	Faults *chaos.Injector
+	// SampleCapHint pre-sizes the sampler's output buffer (e.g. to the
+	// previous collection's sample count, as the trace arena does), turning
+	// the append-doubling growth of a long run into one allocation. Purely a
+	// capacity hint: it never changes the samples produced.
+	SampleCapHint int
 }
 
 // Program is a deployed spy: its kernels attached to an engine plus the
@@ -212,6 +217,9 @@ func NewProgram(cfg Config) (*Program, error) {
 		p.windowSampler, err = cupti.NewWindowSampler(cfg.Ctx, cfg.SamplePeriod)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.SampleCapHint > 0 {
+			p.windowSampler.Presize(cfg.SampleCapHint)
 		}
 	} else {
 		p.kernelSampler = cupti.NewKernelSampler(cfg.Ctx, probe.Name)

@@ -78,7 +78,55 @@ func (s *Session) IterationDuration() gpu.Nanos {
 // op sequence to the GPU engine, separated by the host gap. The returned
 // source also implements Rewindable for victim-context reset recovery.
 func (s *Session) Source() gpu.Source {
-	return &sessionSource{session: s}
+	return s.SourceWith(nil)
+}
+
+// SourceWith is Source with the per-iteration kernel-tag slabs cut from the
+// given slab instead of freshly allocated. Every session feeding one engine
+// may share one slab (the engine loop is single-goroutine); a nil slab falls
+// back to per-iteration allocation.
+func (s *Session) SourceWith(tags *TagSlab) gpu.Source {
+	return &sessionSource{session: s, slab: tags}
+}
+
+// TagSlab amortizes the per-iteration IterOp slabs of one collection's
+// sessions into large blocks, and lets a worker recycle those blocks across
+// collections. Tag pointers cut from a slab stay valid until Reset — the
+// slab only ever appends within a block and abandons (never overwrites) a
+// full one — so Reset must only be called once the engine that consumed the
+// tags is gone. The zero value is ready to use. Not safe for concurrent use.
+type TagSlab struct {
+	buf []IterOp
+	off int
+}
+
+// Reset makes the slab's memory reusable. Outstanding tag pointers from
+// before the Reset become invalid.
+func (ts *TagSlab) Reset() {
+	if ts != nil {
+		ts.off = 0
+	}
+}
+
+// take cuts n IterOps from the slab, growing it block-wise; a nil slab
+// degrades to plain allocation.
+func (ts *TagSlab) take(n int) []IterOp {
+	if ts == nil {
+		return make([]IterOp, n)
+	}
+	if ts.off+n > len(ts.buf) {
+		size := 4096
+		if n > size {
+			size = n
+		}
+		// The old block stays referenced by outstanding tags; only the slab's
+		// view moves on.
+		ts.buf = make([]IterOp, size)
+		ts.off = 0
+	}
+	out := ts.buf[ts.off : ts.off+n : ts.off+n]
+	ts.off += n
+	return out
 }
 
 // Rewindable is implemented by victim kernel sources that can recover from a
@@ -106,6 +154,15 @@ type sessionSource struct {
 	session *Session
 	iter    int
 	opIdx   int
+	// tags is the current iteration's IterOp slab. Kernel tags are pointers
+	// into it, so boxing a fresh 16-byte interface payload per kernel launch
+	// becomes one slab allocation per iteration. A new slab is cut per
+	// iteration (never recycled in place) because the engine may still hold
+	// queued kernels — and therefore tag pointers — from the previous
+	// iteration when the next one starts feeding. slab, when non-nil, is
+	// where the slices are cut from.
+	tags []IterOp
+	slab *TagSlab
 }
 
 // Position implements Rewindable.
@@ -132,9 +189,15 @@ func (src *sessionSource) Next(now gpu.Nanos) (gpu.KernelProfile, gpu.Nanos, boo
 	if src.iter >= s.cfg.Iterations {
 		return gpu.KernelProfile{}, 0, false
 	}
+	if src.opIdx == 0 {
+		src.tags = src.slab.take(len(s.ops))
+		for i := range src.tags {
+			src.tags[i] = IterOp{Op: &s.ops[i], Iteration: src.iter}
+		}
+	}
 	op := &s.ops[src.opIdx]
 	k := op.Kernel(s.dev)
-	k.Tag = IterOp{Op: op, Iteration: src.iter}
+	k.Tag = &src.tags[src.opIdx]
 
 	notBefore := now
 	if src.opIdx == 0 {

@@ -100,11 +100,11 @@ func TestDominantOpLabelling(t *testing.T) {
 	op1 := &dnn.Op{Kind: dnn.OpConv2D, Seq: 0}
 	op2 := &dnn.Op{Kind: dnn.OpReLU, Seq: 1}
 	tl.Observe(gpu.KernelSpan{
-		Kernel: gpu.KernelProfile{Name: "Conv2D", Tag: IterOp{Op: op1}},
+		Kernel: gpu.KernelProfile{Name: "Conv2D", Tag: &IterOp{Op: op1}},
 		Start:  0, End: 100,
 	})
 	tl.Observe(gpu.KernelSpan{
-		Kernel: gpu.KernelProfile{Name: "ReLU", Tag: IterOp{Op: op2}},
+		Kernel: gpu.KernelProfile{Name: "ReLU", Tag: &IterOp{Op: op2}},
 		Start:  100, End: 130,
 	})
 

@@ -26,7 +26,7 @@ type Timeline struct {
 // Observe consumes a kernel completion from the GPU engine. Spans whose tag
 // is not an IterOp (e.g. spy kernels) are ignored.
 func (tl *Timeline) Observe(span gpu.KernelSpan) {
-	tag, ok := span.Kernel.Tag.(IterOp)
+	tag, ok := span.Kernel.Tag.(*IterOp)
 	if !ok {
 		return
 	}

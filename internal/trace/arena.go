@@ -1,0 +1,85 @@
+// Collection arenas: per-worker reusable scratch for the co-run hot path.
+//
+// One Collect builds and discards a whole simulator — engine, channels,
+// residency logs, per-iteration kernel tags — while the only memory that
+// outlives it is the Trace itself (samples, timeline events, health). A
+// fleet campaign repeats that thousands of times, so the discarded state is
+// a steady GC tax that grows with worker count and eats the parallel
+// speedup. An Arena captures exactly the state that does NOT escape a
+// collection and hands it to the next collection on the same worker:
+//
+//   - the engine's internal scratch (channel structs, scheduling ring,
+//     runlist-slot accounting, L2/texture decay logs, busy map),
+//   - the sessions' per-iteration IterOp tag slabs (the timeline copies tag
+//     fields out at kernel end; no tag pointer survives the engine),
+//   - the sample-count high-water mark, used to pre-size the next sampler's
+//     output buffer (the samples escape, but their append-doubling growth
+//     doesn't have to).
+//
+// Ownership rule: everything in the arena is owned by at most one live
+// collection at a time, and nothing reachable from a returned *Trace may
+// point into arena memory. Reuse is therefore invisible — a pooled run is
+// byte-identical to a fresh one, which the golden-hash tests pin.
+package trace
+
+import (
+	"sync"
+
+	"leakydnn/internal/gpu"
+	"leakydnn/internal/tfsim"
+)
+
+// Arena is one worker's reusable collection scratch. Not safe for concurrent
+// use; workers borrow arenas from an ArenaPool instead of sharing one.
+type Arena struct {
+	engine     gpu.EngineScratch
+	tags       tfsim.TagSlab
+	sampleHint int
+}
+
+// ArenaPool hands out Arenas to concurrent collections. Borrowing is
+// sync.Pool-backed: a worker that collects repeatedly keeps hitting warm
+// arenas, and idle arenas are GC-reclaimable, so a pool sized for a burst
+// does not pin its high-water memory forever.
+type ArenaPool struct {
+	pool sync.Pool
+}
+
+// NewArenaPool returns an empty pool. Share one pool per campaign (fleet
+// run, workbench, table sweep); every Collect given the pool via
+// RunConfig.Arenas borrows from it for the duration of the call.
+func NewArenaPool() *ArenaPool {
+	return &ArenaPool{pool: sync.Pool{New: func() any { return new(Arena) }}}
+}
+
+// acquire borrows an arena; nil-safe (a nil pool yields a nil arena, and
+// every arena consumer degrades to plain allocation on nil).
+func (p *ArenaPool) acquire() *Arena {
+	if p == nil {
+		return nil
+	}
+	return p.pool.Get().(*Arena)
+}
+
+// release returns a borrowed arena.
+func (p *ArenaPool) release(a *Arena) {
+	if p != nil && a != nil {
+		p.pool.Put(a)
+	}
+}
+
+// engineScratch exposes the arena's engine scratch; nil on a nil arena.
+func (a *Arena) engineScratch() *gpu.EngineScratch {
+	if a == nil {
+		return nil
+	}
+	return &a.engine
+}
+
+// tagSlab exposes the arena's kernel-tag slab; nil on a nil arena.
+func (a *Arena) tagSlab() *tfsim.TagSlab {
+	if a == nil {
+		return nil
+	}
+	return &a.tags
+}

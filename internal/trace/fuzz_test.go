@@ -67,7 +67,7 @@ func fuzzTrace(data []byte) *Trace {
 		end := start + gpu.Nanos(dur) + 1 // events need positive duration
 		tr.Timeline.Observe(gpu.KernelSpan{
 			Ctx:    VictimCtx,
-			Kernel: gpu.KernelProfile{Name: "fuzz", Tag: tfsim.IterOp{Op: &ops[len(ops)-1], Iteration: i / 4}},
+			Kernel: gpu.KernelProfile{Name: "fuzz", Tag: &tfsim.IterOp{Op: &ops[len(ops)-1], Iteration: i / 4}},
 			Start:  start,
 			End:    end,
 		})

@@ -51,6 +51,12 @@ type RunConfig struct {
 	// fault-free collection; both injectors draw from their own seeded RNG
 	// streams, never the engine's.
 	Chaos chaos.Plan
+	// Arenas, when non-nil, supplies per-worker reusable scratch memory for
+	// the collection (engine internals, kernel-tag slabs, sampler capacity):
+	// repeated collections sharing a pool reuse memory instead of
+	// re-allocating it. Purely an allocator knob — a pooled run's trace is
+	// byte-identical to an unpooled one.
+	Arenas *ArenaPool
 }
 
 // Trace is the outcome of one co-run: the spy-side samples and the
@@ -121,14 +127,28 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 			return nil, fmt.Errorf("trace: %w", err)
 		}
 	}
+	// Borrow this worker's scratch arena for the whole collection. The
+	// engine's internals are reclaimed into it on the way out (nothing in the
+	// returned Trace aliases them), the tag slab is recycled eagerly (its
+	// previous owner's engine is gone by definition), and the previous
+	// collection's sample count pre-sizes this one's output buffer.
+	arena := cfg.Arenas.acquire()
+	if arena != nil {
+		defer cfg.Arenas.release(arena)
+		arena.tags.Reset()
+		cfg.Spy.SampleCapHint = arena.sampleHint
+	}
 	prog, err := spy.NewProgram(cfg.Spy)
 	if err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	eng, err := gpu.NewEngine(cfg.Device, rng)
+	eng, err := gpu.NewEngineWith(cfg.Device, rng, arena.engineScratch())
 	if err != nil {
 		return nil, err
+	}
+	if arena != nil {
+		defer arena.engine.Release(eng)
 	}
 	if sched != nil {
 		// Tenant churn adds and removes channels mid-run; with the shared
@@ -170,7 +190,7 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 	// Ground-truth channels must never be dropped: a hardened scheduler
 	// rejecting the victim or a tenant would silently produce a trace of a
 	// different co-location than the one requested.
-	sessSrc := sess.Source()
+	sessSrc := sess.SourceWith(arena.tagSlab())
 	rewinder, _ := sessSrc.(tfsim.Rewindable)
 	victimSrc := gpu.Source(sessSrc)
 	if sched != nil {
@@ -207,7 +227,7 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 			return nil, fmt.Errorf("trace: tenant %s: %w", tenant.Name, err)
 		}
 		ctx := SpyCtx + 1 + gpu.ContextID(i)
-		if !eng.AddChannel(ctx, tsess.Source()) {
+		if !eng.AddChannel(ctx, tsess.SourceWith(arena.tagSlab())) {
 			return nil, fmt.Errorf("trace: scheduler rejected tenant %s channel (ctx %d, MaxChannelsPerCtx=%d)",
 				tenant.Name, ctx, cfg.Device.MaxChannelsPerCtx)
 		}
@@ -359,7 +379,7 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 			if terr != nil {
 				return fmt.Errorf("trace: churn tenant %s: %w", tmpl.Name, terr)
 			}
-			if eng.AddChannel(joinCtx, tsess.Source()) {
+			if eng.AddChannel(joinCtx, tsess.SourceWith(arena.tagSlab())) {
 				if tenantTotal != nil {
 					tenantTotal[joinCtx] = tenantIters * tsess.OpsPerIteration()
 				}
@@ -412,6 +432,9 @@ func Collect(m dnn.Model, cfg RunConfig) (*Trace, error) {
 	}
 
 	samples := prog.Samples(eng.Now())
+	if arena != nil {
+		arena.sampleHint = len(samples)
+	}
 	health := &Health{
 		SamplesEmitted:      len(samples),
 		SpyChannelsRejected: prog.RejectedChannels(),

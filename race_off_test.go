@@ -1,0 +1,5 @@
+//go:build !race
+
+package leakydnn
+
+const raceEnabled = false
